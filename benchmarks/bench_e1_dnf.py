@@ -1,0 +1,94 @@
+"""E1 — Example 1: DNF unfolding and scheme compactness.
+
+Paper claim: the flexible scheme of Example 1 is a *compact* notation whose
+unfolding ``dnf(FS)`` yields exactly the 14 listed attribute combinations; in
+general the compact scheme grows linearly with the number of components while the
+unfolded set of attribute combinations grows multiplicatively.
+
+Measured here:
+
+* correctness of the 14-combination unfolding,
+* scheme size (number of attributes) vs. DNF size for a sweep of generated schemes,
+* timing of DNF materialization vs. the lazy ``admits`` membership test
+  (the ablation called out in DESIGN.md §6).
+"""
+
+import pytest
+
+from reporting import print_report
+from repro.model.scheme import FlexibleScheme
+from repro.workloads.generators import random_flexible_scheme
+
+EXAMPLE1 = FlexibleScheme(
+    4, 4, ["A", "B", FlexibleScheme(1, 1, ["C", "D"]), FlexibleScheme(1, 3, ["E", "F", "G"])]
+)
+
+EXPECTED_EXAMPLE1 = {
+    frozenset("ABCE"), frozenset("ABDE"), frozenset("ABCF"), frozenset("ABDF"),
+    frozenset("ABCG"), frozenset("ABDG"), frozenset("ABCEF"), frozenset("ABDEF"),
+    frozenset("ABCEG"), frozenset("ABDEG"), frozenset("ABCFG"), frozenset("ABDFG"),
+    frozenset("ABCEFG"), frozenset("ABDEFG"),
+}
+
+
+def test_example1_dnf_matches_the_paper():
+    unfolded = {frozenset(a.name for a in combo) for combo in EXAMPLE1.dnf()}
+    assert unfolded == EXPECTED_EXAMPLE1
+
+
+def test_report_scheme_compactness():
+    """Scheme size grows additively, the DNF multiplicatively."""
+    rows = []
+    for groups in range(1, 5):
+        scheme = random_flexible_scheme(base_attributes=3, variant_groups=groups,
+                                        attributes_per_group=3, seed=1)
+        rows.append({
+            "variant groups": groups,
+            "scheme attributes": len(scheme.attributes),
+            "dnf combinations": scheme.count_variants(),
+        })
+    print_report("E1: compact scheme vs. unfolded DNF", rows)
+    assert rows[-1]["dnf combinations"] > rows[-1]["scheme attributes"]
+    sizes = [row["dnf combinations"] for row in rows]
+    assert sizes == sorted(sizes)
+
+
+def bench_scheme(groups):
+    return random_flexible_scheme(base_attributes=3, variant_groups=groups,
+                                  attributes_per_group=3, seed=1)
+
+
+@pytest.mark.benchmark(group="e1-dnf")
+def test_bench_example1_dnf(benchmark):
+    result = benchmark(EXAMPLE1.dnf)
+    assert len(result) == 14
+
+
+@pytest.mark.benchmark(group="e1-dnf")
+def test_bench_dnf_materialization_large(benchmark):
+    scheme = bench_scheme(4)
+    result = benchmark(scheme.dnf)
+    assert len(result) == scheme.count_variants()
+
+
+@pytest.mark.benchmark(group="e1-membership")
+def test_bench_lazy_membership(benchmark):
+    scheme = bench_scheme(4)
+    combos = [list(c.names) for c in scheme.dnf()]
+
+    def check_all():
+        return all(scheme.admits(combo) for combo in combos)
+
+    assert benchmark(check_all)
+
+
+@pytest.mark.benchmark(group="e1-membership")
+def test_bench_membership_via_materialized_dnf(benchmark):
+    scheme = bench_scheme(4)
+    combos = [list(c.names) for c in scheme.dnf()]
+
+    def check_all():
+        dnf = scheme.dnf()
+        return all(any(set(combo) == set(c.names) for c in dnf) for combo in combos)
+
+    assert benchmark(check_all)

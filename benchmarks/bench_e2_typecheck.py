@@ -1,0 +1,126 @@
+"""E2 — Section 3.1: AD-based type checking vs. scheme-only and NULL-table baselines.
+
+Paper claim: a flexible scheme alone cannot reject the tuple
+``<jobtype:'salesman', typing-speed:..., foreign-languages:...>`` because the
+attribute combination is structurally valid; the jobtype AD rejects it.  The NULL
+baseline (single flat table with a variant tag) rejects nothing at all — the burden
+of keeping tags and NULL patterns consistent falls on the user.
+
+Measured here:
+
+* rejection counts on a workload with 15% invalid tuples under the three regimes,
+* insertion throughput with full AD checking vs. scheme-only vs. the flat baseline
+  (the price of the stronger guarantee).
+"""
+
+import pytest
+
+from reporting import print_report
+from repro.baselines import NullPaddedTable
+from repro.engine import Table
+from repro.errors import ReproError
+from repro.model.tuples import FlexTuple
+from repro.workloads.employees import employee_definition, employee_dependency, employee_scheme
+
+
+def _count_rejections(table_factory, tuples):
+    table = table_factory()
+    accepted = rejected = 0
+    for values in tuples:
+        try:
+            table.insert(values)
+            accepted += 1
+        except ReproError:
+            rejected += 1
+    return accepted, rejected
+
+
+def _full_table():
+    return Table(employee_definition())
+
+
+def _scheme_only_table():
+    definition = employee_definition()
+    definition.dependencies = []
+    return Table(definition)
+
+
+def _flat_baseline():
+    return NullPaddedTable(employee_scheme().attributes, employee_dependency())
+
+
+def test_report_rejection_behaviour(mixed_employee_tuples_1k):
+    dependency = employee_dependency()
+    invalid = sum(
+        1 for values in mixed_employee_tuples_1k
+        if not dependency.check_tuple(FlexTuple(values))
+    )
+    rows = []
+    for name, factory in (("flexible scheme + AD", _full_table),
+                          ("flexible scheme only", _scheme_only_table),
+                          ("flat table with NULLs", _flat_baseline)):
+        accepted, rejected = _count_rejections(factory, mixed_employee_tuples_1k)
+        rows.append({"regime": name, "accepted": accepted, "rejected": rejected,
+                     "actually invalid": invalid})
+    print_report("E2: rejection of dependency-violating tuples (15% invalid)", rows)
+    # shape: only the AD-checked table rejects exactly the invalid tuples
+    assert rows[0]["rejected"] == invalid
+    assert rows[1]["rejected"] == 0
+    assert rows[2]["rejected"] == 0
+
+
+def test_report_flat_baseline_hides_inconsistencies(mixed_employee_tuples_1k):
+    flat = _flat_baseline()
+    flat.insert_many(mixed_employee_tuples_1k)
+    inconsistent = len(flat.inconsistent_rows())
+    print_report("E2: silent inconsistencies in the flat baseline",
+                 [{"rows": len(flat), "inconsistent rows": inconsistent}])
+    assert inconsistent > 0
+
+
+@pytest.mark.benchmark(group="e2-ingest")
+def test_bench_insert_with_ad_checking(benchmark, employee_tuples_1k):
+    def ingest():
+        table = _full_table()
+        table.insert_many(employee_tuples_1k)
+        return len(table)
+
+    assert benchmark(ingest) == len(employee_tuples_1k)
+
+
+@pytest.mark.benchmark(group="e2-ingest")
+def test_bench_insert_scheme_only(benchmark, employee_tuples_1k):
+    def ingest():
+        table = _scheme_only_table()
+        table.insert_many(employee_tuples_1k)
+        return len(table)
+
+    assert benchmark(ingest) == len(employee_tuples_1k)
+
+
+@pytest.mark.benchmark(group="e2-ingest")
+def test_bench_insert_unchecked(benchmark, employee_tuples_1k):
+    def ingest():
+        table = Table(employee_definition(), enforce=False)
+        table.insert_many(employee_tuples_1k)
+        return len(table)
+
+    assert benchmark(ingest) == len(employee_tuples_1k)
+
+
+@pytest.mark.benchmark(group="e2-ingest")
+def test_bench_insert_flat_baseline(benchmark, employee_tuples_1k):
+    def ingest():
+        flat = _flat_baseline()
+        flat.insert_many(employee_tuples_1k)
+        return len(flat)
+
+    assert benchmark(ingest) == len(employee_tuples_1k)
+
+
+@pytest.mark.benchmark(group="e2-single-check")
+def test_bench_single_tuple_check(benchmark):
+    dependency = employee_dependency()
+    tup = FlexTuple(emp_id=1, name="x", salary=1.0, jobtype="secretary",
+                    typing_speed=90, foreign_languages="fr")
+    assert benchmark(dependency.check_tuple, tup)

@@ -1,0 +1,225 @@
+"""E5 — Example 4 / Section 3.1.2: AD-driven query optimization.
+
+Reproduced shape:
+
+* the type guard on ``typing-speed`` after the selection
+  ``salary > 5000 AND jobtype = 'secretary'`` is recognized as redundant and removed;
+* a guard that contradicts the selected variant collapses the query to the empty
+  result without scanning;
+* selections over a horizontally decomposed relation (outer union of fragments)
+  skip the fragments excluded by the selection (qualified-relation reasoning);
+* the rewritten queries return exactly the same tuples at measurably lower cost
+  (work counters and wall-clock).
+"""
+
+import pytest
+
+from reporting import print_report
+from repro.algebra import (
+    Evaluator,
+    Extension,
+    OuterUnion,
+    RelationRef,
+    Selection,
+    TypeGuardNode,
+)
+from repro.algebra.predicates import Comparison
+from repro.engine import Database
+from repro.er import horizontal_decomposition
+from repro.optimizer import Planner, measured_cost
+from repro.workloads.employees import employee_definition, employee_dependency, generate_employees
+
+
+def example4_query():
+    return TypeGuardNode(
+        Selection(
+            RelationRef("employees"),
+            Comparison("salary", ">", 5000.0) & Comparison("jobtype", "=", "secretary"),
+        ),
+        ["typing_speed"],
+    )
+
+
+def excluded_variant_query():
+    return TypeGuardNode(
+        Selection(
+            RelationRef("employees"),
+            Comparison("salary", ">", 5000.0) & Comparison("jobtype", "=", "secretary"),
+        ),
+        ["sales_commission"],
+    )
+
+
+def _fragment_database(count=1000):
+    database = Database()
+    definition = employee_definition()
+    employees = database.create_table("employees", definition.scheme,
+                                      domains=definition.domains, key=definition.key,
+                                      dependencies=definition.dependencies)
+    employees.insert_many(generate_employees(count, seed=301))
+    decomposition = horizontal_decomposition(employees, employee_dependency())
+    for name, tuples in decomposition.fragments.items():
+        table = database.create_table("frag_{}".format(name.replace(" ", "_")),
+                                      definition.scheme, domains=definition.domains)
+        table.insert_many(tuples)
+    return database
+
+
+def fragment_query():
+    secretaries = Extension(RelationRef("frag_secretary"), "fragment", "secretary")
+    engineers = Extension(RelationRef("frag_software_engineer"), "fragment", "software engineer")
+    salesmen = Extension(RelationRef("frag_salesman"), "fragment", "salesman")
+    union = OuterUnion(OuterUnion(secretaries, engineers), salesmen)
+    return Selection(union, Comparison("fragment", "=", "secretary") & Comparison("salary", ">", 5000.0))
+
+
+def test_report_example4_guard_elimination(employee_database_1k):
+    database = employee_database_1k
+    query = example4_query()
+    plain = database.execute(query, optimize=False)
+    optimized, report = database.execute_with_report(query, optimize=True)
+    rows = [{
+        "query": "σ(salary>5000 ∧ jobtype='secretary') + guard(typing_speed)",
+        "rewrites": len(report),
+        "tuples (unoptimized)": len(plain),
+        "tuples (optimized)": len(optimized),
+        "work unoptimized": plain.stats.total_work,
+        "work optimized": optimized.stats.total_work,
+    }]
+    print_report("E5: redundant type-guard elimination (Example 4)", rows)
+    assert report.changed
+    assert plain.tuples == optimized.tuples
+    assert optimized.stats.total_work < plain.stats.total_work
+
+
+def test_report_excluded_variant_guard(employee_database_1k):
+    database = employee_database_1k
+    query = excluded_variant_query()
+    plain = database.execute(query, optimize=False)
+    optimized, report = database.execute_with_report(query, optimize=True)
+    rows = [{
+        "query": "σ(jobtype='secretary') + guard(sales_commission)",
+        "rewrites": len(report),
+        "tuples (both)": len(plain),
+        "work unoptimized": plain.stats.total_work,
+        "work optimized": optimized.stats.total_work,
+    }]
+    print_report("E5: guard on an excluded variant collapses to the empty result", rows)
+    assert report.changed
+    assert len(plain) == 0 and len(optimized) == 0
+    assert optimized.stats.total_work <= plain.stats.total_work
+
+
+def test_report_fragment_pruning():
+    database = _fragment_database(1000)
+    query = fragment_query()
+    plain = database.execute(query, optimize=False)
+    optimized, report = database.execute_with_report(query, optimize=True)
+    rows = [{
+        "query": "σ(fragment='secretary' ∧ salary>5000) over outer union of 3 fragments",
+        "rewrites": len(report),
+        "tuples equal": plain.tuples == optimized.tuples,
+        "work unoptimized": plain.stats.total_work,
+        "work optimized": optimized.stats.total_work,
+        "speedup (work)": round(plain.stats.total_work / max(1, optimized.stats.total_work), 2),
+    }]
+    print_report("E5: excluded-fragment pruning over a horizontal decomposition", rows)
+    assert report.changed
+    assert plain.tuples == optimized.tuples
+    assert optimized.stats.total_work < plain.stats.total_work
+
+
+def test_report_rewrite_rule_ablation(employee_database_1k):
+    """Ablation from DESIGN.md §6: which rewrite rule contributes what."""
+    from repro.optimizer.rewrite_rules import (
+        eliminate_contradictory_selections,
+        eliminate_redundant_guards,
+        prune_union_branches,
+    )
+
+    database = _fragment_database(500)
+    workload = {
+        "Example 4 guard": (employee_database_1k, example4_query()),
+        "excluded-variant guard": (employee_database_1k, excluded_variant_query()),
+        "fragment union": (database, fragment_query()),
+    }
+    rule_sets = {
+        "no rewrites": [],
+        "guards only": [eliminate_redundant_guards],
+        "contradictions only": [eliminate_contradictory_selections],
+        "branch pruning only": [prune_union_branches],
+        "all rules": None,  # planner default
+    }
+    rows = []
+    for rules_label, rules in rule_sets.items():
+        row = {"rule set": rules_label}
+        for query_label, (db, query) in workload.items():
+            planner = Planner(catalog=db) if rules is None else Planner(catalog=db, rules=rules)
+            rewritten, _ = planner.optimize(query)
+            row[query_label] = Evaluator(db).evaluate(rewritten).stats.total_work
+        rows.append(row)
+    print_report("E5 ablation: evaluator work per query under each rule subset", rows)
+    baseline = rows[0]
+    full = rows[-1]
+    assert all(full[label] <= baseline[label] for label in workload)
+    assert any(full[label] < baseline[label] for label in workload)
+
+
+@pytest.mark.benchmark(group="e5-example4")
+def test_bench_example4_unoptimized(benchmark, employee_database_1k):
+    query = example4_query()
+
+    def run():
+        return len(employee_database_1k.execute(query, optimize=False))
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="e5-example4")
+def test_bench_example4_optimized(benchmark, employee_database_1k):
+    query = example4_query()
+    planner = Planner(catalog=employee_database_1k)
+    rewritten, _ = planner.optimize(query)
+    evaluator = Evaluator(employee_database_1k)
+
+    def run():
+        return len(evaluator.evaluate(rewritten))
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="e5-example4")
+def test_bench_planning_overhead(benchmark, employee_database_1k):
+    query = example4_query()
+    planner = Planner(catalog=employee_database_1k)
+
+    def run():
+        rewritten, _ = planner.optimize(query)
+        return rewritten
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="e5-fragments")
+def test_bench_fragment_query_unoptimized(benchmark):
+    database = _fragment_database(500)
+    query = fragment_query()
+
+    def run():
+        return len(database.execute(query, optimize=False))
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="e5-fragments")
+def test_bench_fragment_query_optimized(benchmark):
+    database = _fragment_database(500)
+    query = fragment_query()
+    planner = Planner(catalog=database)
+    rewritten, _ = planner.optimize(query)
+    evaluator = Evaluator(database)
+
+    def run():
+        return len(evaluator.evaluate(rewritten))
+
+    benchmark(run)

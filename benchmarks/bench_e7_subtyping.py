@@ -1,0 +1,134 @@
+"""E7 — Section 3.2 / Example 3: ADs yield a stronger notion of record subtyping.
+
+Reproduced shape:
+
+* the jobtype EAD induces exactly the employee/secretary/salesman/software-engineer
+  type family of Example 3 (domain of ``jobtype`` restricted, variant attributes
+  added, both changes causally connected);
+* the traditional record-subtyping rule accepts every projection of the supertype as
+  a common supertype of the three subtypes — including ``<salary: float>`` without
+  ``jobtype`` — whereas the AD-based rule rejects exactly the candidates that lose
+  the determining attribute (the "lost connection" cases);
+* over generated hierarchies the count of unsound (connection-losing) supertypes
+  accepted by the traditional rule grows with the number of non-determining
+  attributes, while the AD-based rule accepts none of them.
+"""
+
+import pytest
+
+from reporting import print_report
+from repro.baselines.record_subtyping import SubtypeLattice, accepted_supertypes
+from repro.core.subtyping import candidate_supertypes, derive_subtype_family
+from repro.types import is_record_subtype
+from repro.workloads.employees import employee_dependency, employee_domains, employee_scheme
+from repro.workloads.generators import random_explicit_ad
+
+
+def employee_family():
+    return derive_subtype_family(employee_scheme().attributes, employee_dependency(),
+                                 employee_domains(), supertype_name="employee_type")
+
+
+def test_report_example3_family():
+    family = employee_family()
+    rows = []
+    for name in family.subtype_names():
+        subtype = family.subtype(name)
+        rows.append({
+            "subtype": name,
+            "attributes": len(subtype.attributes),
+            "jobtype domain": ", ".join(str(v) for v in subtype.domain_of("jobtype").values()),
+            "record-subtype of employee_type": is_record_subtype(subtype, family.supertype),
+        })
+    print_report("E7: the subtype family of Example 3", rows)
+    assert len(rows) == 3
+    assert all(row["record-subtype of employee_type"] for row in rows)
+
+
+def test_report_lost_connection_counts():
+    family = employee_family()
+    candidates = candidate_supertypes(family)
+    subtypes = [family.subtype(name) for name in family.subtype_names()]
+    traditional = accepted_supertypes(candidates, subtypes)
+    classified = [family.classify_candidate(candidate) for candidate in candidates]
+    rows = [{
+        "candidate supertypes (projections)": len(candidates),
+        "accepted by record-subtyping rule": len(traditional),
+        "accepted by AD-based rule": classified.count("valid"),
+        "lost-connection (accepted only traditionally)": classified.count("lost-connection"),
+    }]
+    print_report("E7: traditional vs AD-based acceptance of candidate supertypes", rows)
+    # shape: the traditional rule accepts everything, the AD rule only the half
+    # retaining the determining attribute; the difference is exactly the
+    # lost-connection set, which contains the paper's <salary: float> example.
+    assert rows[0]["accepted by record-subtyping rule"] == len(candidates)
+    assert rows[0]["accepted by AD-based rule"] + rows[0]["lost-connection (accepted only traditionally)"] \
+        == len(candidates)
+    assert rows[0]["lost-connection (accepted only traditionally)"] > 0
+
+
+def test_report_scaling_with_hierarchy_width():
+    rows = []
+    for extra_attributes in (1, 2, 3, 4):
+        attributes = ["kind"] + ["base_{}".format(i) for i in range(extra_attributes)]
+        dependency = random_explicit_ad(determinant="kind", variant_count=3,
+                                        attributes_per_variant=2, seed=extra_attributes)
+        family = derive_subtype_family(attributes + sorted(a.name for a in dependency.rhs),
+                                       dependency)
+        candidates = candidate_supertypes(family)
+        lost = sum(1 for c in candidates if family.classify_candidate(c) == "lost-connection")
+        valid = sum(1 for c in candidates if family.classify_candidate(c) == "valid")
+        rows.append({
+            "non-determining attributes": extra_attributes,
+            "candidates": len(candidates),
+            "AD-valid": valid,
+            "lost-connection": lost,
+        })
+    print_report("E7: lost-connection supertypes grow with hierarchy width", rows)
+    lost_counts = [row["lost-connection"] for row in rows]
+    assert lost_counts == sorted(lost_counts) and lost_counts[-1] > lost_counts[0]
+
+
+@pytest.mark.benchmark(group="e7-subtyping")
+def test_bench_family_derivation(benchmark):
+    def run():
+        return derive_subtype_family(employee_scheme().attributes, employee_dependency(),
+                                     employee_domains())
+
+    family = benchmark(run)
+    assert len(family.subtypes) == 3
+
+
+@pytest.mark.benchmark(group="e7-subtyping")
+def test_bench_traditional_rule_classification(benchmark):
+    family = employee_family()
+    candidates = candidate_supertypes(family)
+    subtypes = [family.subtype(name) for name in family.subtype_names()]
+
+    def run():
+        return len(accepted_supertypes(candidates, subtypes))
+
+    assert benchmark(run) == len(candidates)
+
+
+@pytest.mark.benchmark(group="e7-subtyping")
+def test_bench_ad_rule_classification(benchmark):
+    family = employee_family()
+    candidates = candidate_supertypes(family)
+
+    def run():
+        return sum(1 for candidate in candidates if family.ad_rule_accepts(candidate))
+
+    assert benchmark(run) < len(candidates)
+
+
+@pytest.mark.benchmark(group="e7-subtyping")
+def test_bench_subtype_lattice_construction(benchmark):
+    family = employee_family()
+    types = [family.supertype] + [family.subtype(name) for name in family.subtype_names()] \
+        + candidate_supertypes(family)
+
+    def run():
+        return len(SubtypeLattice(types).edges())
+
+    assert benchmark(run) > 0

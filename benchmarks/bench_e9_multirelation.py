@@ -1,0 +1,160 @@
+"""E9 — Section 5: the Ahad & Basu multirelation model is a special case of ADs.
+
+Reproduced shape:
+
+* the multirelation with its image attribute stores the employee workload and
+  restores the complete heterogeneous instance by following the image attribute;
+* translating the multirelation into an explicit AD (artificial single-attribute
+  determinant = the image attribute) yields a dependency that accepts exactly the
+  tuples the multirelation can represent — i.e. the flexible relation with that AD
+  subsumes the multirelation model;
+* the engine with the translated AD rejects the same ill-shaped entities the
+  multirelation rejects (plus the ones the multirelation silently mis-stores).
+"""
+
+import pytest
+
+from reporting import print_report
+from repro.baselines import ImageAttribute, Multirelation
+from repro.engine import Database, Table
+from repro.errors import ReproError
+from repro.model.scheme import FlexibleScheme
+from repro.model.tuples import FlexTuple
+from repro.workloads.employees import (
+    EMPLOYEE_VARIANT_ATTRIBUTES,
+    employee_definition,
+    generate_employees,
+)
+
+SIZE = 1000
+
+
+def build_multirelation():
+    return Multirelation(
+        ["emp_id", "name", "salary", "jobtype"],
+        ["emp_id"],
+        ImageAttribute("image", ["secretaries", "engineers", "salesmen"]),
+        {
+            "secretaries": ["emp_id", "typing_speed", "foreign_languages"],
+            "engineers": ["emp_id", "products", "programming_languages"],
+            "salesmen": ["emp_id", "products", "sales_commission"],
+        },
+    )
+
+
+def _employee_tuples(count=SIZE):
+    return [FlexTuple(values) for values in generate_employees(count, seed=501)]
+
+
+def test_report_restoration_equivalence():
+    tuples = _employee_tuples(400)
+    multirelation = build_multirelation()
+    multirelation.insert_many(tuples)
+    dependency = multirelation.to_explicit_ad()
+
+    # engine table governed by the translated AD over the tagged schema
+    scheme = FlexibleScheme(
+        6, 6,
+        ["emp_id", "name", "salary", "jobtype", "image",
+         FlexibleScheme(0, len(EMPLOYEE_VARIANT_ATTRIBUTES), list(EMPLOYEE_VARIANT_ATTRIBUTES))],
+    )
+    database = Database()
+    table = database.create_table("employees_tagged", scheme, key=["emp_id"],
+                                  dependencies=[dependency])
+    for master_row in multirelation.master_rows:
+        original = next(t for t in tuples if t["emp_id"] == master_row["emp_id"])
+        table.insert(original.extend(image=master_row["image"]))
+
+    rows = [{
+        "entities": len(tuples),
+        "multirelation restores instance": multirelation.restore() == set(tuples),
+        "flexible table accepts all tagged tuples": len(table) == len(tuples),
+        "translated AD variants": len(dependency.variants),
+    }]
+    print_report("E9: multirelation vs flexible relation with the translated AD", rows)
+    assert rows[0]["multirelation restores instance"]
+    assert rows[0]["flexible table accepts all tagged tuples"]
+    assert rows[0]["translated AD variants"] == 3
+
+
+def test_report_rejection_equivalence():
+    multirelation = build_multirelation()
+    dependency = multirelation.to_explicit_ad()
+    # an entity whose variant attributes match no depending relation
+    bad = FlexTuple(emp_id=1, name="x", salary=1.0, jobtype="salesman", typing_speed=10)
+    multirelation_rejects = False
+    try:
+        multirelation.insert(bad)
+    except ReproError:
+        multirelation_rejects = True
+    ad_rejects = not any(
+        dependency.check_tuple(bad.extend(image=name))
+        for name in ("secretaries", "engineers", "salesmen")
+    ) and not dependency.check_tuple(bad.extend(image="none"))
+    rows = [{
+        "ill-shaped entity": repr(bad),
+        "multirelation rejects": multirelation_rejects,
+        "translated AD rejects (any image value)": ad_rejects,
+    }]
+    print_report("E9: rejection behaviour on ill-shaped entities", rows)
+    assert multirelation_rejects and ad_rejects
+
+
+@pytest.mark.benchmark(group="e9-multirelation")
+def test_bench_multirelation_load(benchmark):
+    tuples = _employee_tuples()
+
+    def run():
+        multirelation = build_multirelation()
+        multirelation.insert_many(tuples)
+        return len(multirelation)
+
+    assert benchmark(run) == len(tuples)
+
+
+@pytest.mark.benchmark(group="e9-multirelation")
+def test_bench_multirelation_restore(benchmark):
+    tuples = _employee_tuples()
+    multirelation = build_multirelation()
+    multirelation.insert_many(tuples)
+
+    def run():
+        return len(multirelation.restore())
+
+    assert benchmark(run) == len(tuples)
+
+
+@pytest.mark.benchmark(group="e9-multirelation")
+def test_bench_flexible_table_load_with_translated_ad(benchmark):
+    tuples = _employee_tuples()
+    multirelation = build_multirelation()
+    multirelation.insert_many(tuples)
+    dependency = multirelation.to_explicit_ad()
+    image_by_id = {row["emp_id"]: row["image"] for row in multirelation.master_rows}
+    scheme = FlexibleScheme(
+        6, 6,
+        ["emp_id", "name", "salary", "jobtype", "image",
+         FlexibleScheme(0, len(EMPLOYEE_VARIANT_ATTRIBUTES), list(EMPLOYEE_VARIANT_ATTRIBUTES))],
+    )
+    tagged = [t.extend(image=image_by_id[t["emp_id"]]) for t in tuples]
+
+    def run():
+        database = Database()
+        table = database.create_table("tagged", scheme, key=["emp_id"], dependencies=[dependency])
+        table.insert_many(tagged)
+        return len(table)
+
+    assert benchmark(run) == len(tuples)
+
+
+@pytest.mark.benchmark(group="e9-multirelation")
+def test_bench_native_employee_table_load(benchmark):
+    """Reference point: the paper's own modelling (jobtype EAD, no artificial attribute)."""
+    values = generate_employees(SIZE, seed=501)
+
+    def run():
+        table = Table(employee_definition())
+        table.insert_many(values)
+        return len(table)
+
+    assert benchmark(run) == len(values)

@@ -1,0 +1,37 @@
+"""Shared fixtures and reporting helpers for the experiment benchmarks.
+
+Every experiment Ei corresponds to a claim of the paper (see DESIGN.md §4 and
+EXPERIMENTS.md).  The benchmark modules both *time* the relevant operations
+(pytest-benchmark) and *verify the qualitative shape* of the claim with asserts;
+summary numbers are printed so they can be copied into EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.engine import Database, Table
+from repro.workloads.employees import employee_definition, generate_employees
+
+
+@pytest.fixture(scope="module")
+def employee_database_1k():
+    """A database with 1000 valid employees (shared per benchmark module)."""
+    database = Database()
+    definition = employee_definition()
+    table = database.create_table(
+        "employees", definition.scheme, domains=definition.domains,
+        key=definition.key, dependencies=definition.dependencies,
+    )
+    table.insert_many(generate_employees(1000, seed=101))
+    return database
+
+
+@pytest.fixture(scope="module")
+def employee_tuples_1k():
+    """1000 valid employee tuples (dicts) for ingestion benchmarks."""
+    return generate_employees(1000, seed=103)
+
+
+@pytest.fixture(scope="module")
+def mixed_employee_tuples_1k():
+    """1000 employee tuples with a 15% dependency-violation rate."""
+    return generate_employees(1000, invalid_fraction=0.15, seed=107)

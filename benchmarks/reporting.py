@@ -1,0 +1,15 @@
+"""Reporting helper shared by the experiment benchmarks."""
+
+
+def print_report(title, rows):
+    """Print a small aligned table (visible with ``pytest -s`` and in captured output)."""
+    print()
+    print("== {} ==".format(title))
+    if not rows:
+        return
+    headers = list(rows[0].keys())
+    widths = {h: max(len(str(h)), max(len(str(r[h])) for r in rows)) for h in headers}
+    print("  " + " | ".join(str(h).ljust(widths[h]) for h in headers))
+    print("  " + "-+-".join("-" * widths[h] for h in headers))
+    for row in rows:
+        print("  " + " | ".join(str(row[h]).ljust(widths[h]) for h in headers))

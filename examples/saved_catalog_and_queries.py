@@ -1,0 +1,70 @@
+"""Saving a catalog to JSON, reloading it, and querying it with the textual language.
+
+Demonstrates the persistence layer (schema + data as a JSON document), the
+transaction scope (an all-or-nothing batch whose violation rolls everything back),
+the textual query language, and the design advisor's report on the schema.
+
+Run with::
+
+    python examples/saved_catalog_and_queries.py
+"""
+
+import io
+
+from repro.engine import Database, dumps_database, loads_database
+from repro.er import advise
+from repro.errors import DependencyViolation
+from repro.workloads.employees import employee_definition, generate_employees
+
+
+def main():
+    # ------------------------------------------------------------------ build --
+    database = Database()
+    definition = employee_definition()
+    employees = database.create_table("employees", definition.scheme,
+                                      domains=definition.domains, key=definition.key,
+                                      dependencies=definition.dependencies)
+    employees.insert_many(generate_employees(200, seed=11))
+    print("built a database with", len(employees), "employees")
+
+    # ------------------------------------------------------------- transaction --
+    batch = generate_employees(5, seed=12, start_id=1001)
+    batch[3]["typing_speed"] = 55          # make one of them violate the jobtype AD
+    batch[3]["jobtype"] = "salesman"
+    batch[3].pop("products", None)
+    batch[3].pop("sales_commission", None)
+    batch[3].pop("foreign_languages", None)
+    try:
+        with database.transaction():
+            for values in batch:
+                database.insert("employees", values)
+    except DependencyViolation as error:
+        print("batch rolled back:", str(error)[:70], "...")
+    print("size after the failed batch:", len(employees), "(unchanged)")
+
+    # ------------------------------------------------------------- persistence --
+    document = dumps_database(database)
+    print("\nserialized catalog + data:", len(document), "bytes of JSON")
+    restored = loads_database(document)
+    print("reloaded tables:", restored.tables(),
+          "with", len(restored.table("employees")), "tuples")
+
+    # ------------------------------------------------------------------ queries --
+    print("\nwell-paid secretaries (textual query):")
+    result = restored.query(
+        "SELECT name, salary, typing_speed FROM employees "
+        "WHERE salary > 7000 AND jobtype = 'secretary' GUARD typing_speed"
+    )
+    for row in sorted(result, key=lambda t: -t["salary"])[:5]:
+        print("  ", row)
+
+    print("\npeople reachable only electronically is not our schema — but products people:")
+    result = restored.query("SELECT name, products FROM employees WHERE HAS products")
+    print("  ", len(result), "employees are in charge of products")
+
+    # ------------------------------------------------------------------ advisor --
+    print("\n" + advise(restored.catalog.definition("employees")).summary())
+
+
+if __name__ == "__main__":
+    main()

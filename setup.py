@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries the project metadata; this file exists so that editable
+installs (``pip install -e .``) work on environments without the ``wheel`` package,
+where pip falls back to the legacy ``setup.py develop`` code path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Flexible relations with attribute dependencies — reproduction of "
+        "Kalus & Dadam, ICDE 1995"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,77 @@
+"""Query algebra for flexible relations.
+
+Section 4.3 of the paper discusses how attribute dependencies behave under the
+"well-known algebraic operators, providing the intuitive meaning in our model".
+This package supplies those operators for flexible relations:
+
+* a predicate language for selections (:mod:`repro.algebra.predicates`),
+* an expression AST with one node per operator — selection, projection, cartesian
+  product, union, outer union, difference, extension (tagging), renaming, natural
+  and multiway join, and explicit type guards (:mod:`repro.algebra.expressions`),
+* an evaluator that executes expression trees against a catalog of flexible
+  relations and records execution statistics (:mod:`repro.algebra.evaluator`).
+
+Every expression node can also report the attribute dependencies that are known to
+hold in its result (via the propagation rules of Theorem 4.3), which is the
+information the optimizer consumes.
+"""
+
+from repro.algebra.predicates import (
+    And,
+    AttributeComparison,
+    Comparison,
+    FalsePredicate,
+    Not,
+    Or,
+    Predicate,
+    PresencePredicate,
+    TruePredicate,
+    attribute_equals,
+)
+from repro.algebra.expressions import (
+    Difference,
+    EmptyRelation,
+    Expression,
+    Extension,
+    MultiwayJoin,
+    NaturalJoin,
+    OuterUnion,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    TypeGuardNode,
+    Union,
+)
+from repro.algebra.evaluator import EvaluationResult, Evaluator, ExecutionStats
+
+__all__ = [
+    "Predicate",
+    "Comparison",
+    "AttributeComparison",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "FalsePredicate",
+    "PresencePredicate",
+    "attribute_equals",
+    "Expression",
+    "RelationRef",
+    "EmptyRelation",
+    "Selection",
+    "Projection",
+    "Product",
+    "Union",
+    "OuterUnion",
+    "Difference",
+    "Extension",
+    "Rename",
+    "NaturalJoin",
+    "MultiwayJoin",
+    "TypeGuardNode",
+    "Evaluator",
+    "EvaluationResult",
+    "ExecutionStats",
+]

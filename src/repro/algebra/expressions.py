@@ -1,0 +1,561 @@
+"""Algebra expression trees.
+
+Each operator of the flexible-relation algebra is a node class.  Nodes are
+immutable; rewrites build new trees via :meth:`Expression.with_children`.  Besides
+structure, every node knows
+
+* which attribute dependencies hold in its result
+  (:meth:`Expression.known_dependencies`, following Theorem 4.3 and keeping explicit
+  ADs in explicit form whenever the propagation rule allows it), and
+* which attributes are guaranteed to be present in every result tuple
+  (:meth:`Expression.guaranteed_attributes`, fed by selection predicates and type
+  guards) — the two ingredients of the optimizer's redundancy reasoning.
+
+The dependency information is resolved against a *catalog*: any object with a
+``dependencies(name)`` method (such as :class:`repro.engine.Database`) or a plain
+mapping ``{name: iterable of dependencies}``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.predicates import Predicate, TruePredicate
+from repro.core.dependencies import (
+    AttributeDependency,
+    Dependency,
+    ExplicitAttributeDependency,
+    FunctionalDependency,
+)
+from repro.core.propagation import (
+    propagate_product,
+    propagate_projection,
+    propagate_selection,
+    propagate_tagged_union,
+    propagate_union,
+)
+from repro.errors import AlgebraError
+from repro.model.attributes import AttributeSet, attrset
+
+
+def _catalog_dependencies(catalog, name: str) -> List[Dependency]:
+    """Fetch the declared dependencies of a base relation from a catalog-like object."""
+    if catalog is None:
+        return []
+    if hasattr(catalog, "dependencies"):
+        return list(catalog.dependencies(name))
+    if isinstance(catalog, dict):
+        entry = catalog.get(name)
+        if entry is None:
+            return []
+        if hasattr(entry, "dependencies"):
+            return list(entry.dependencies)
+        if isinstance(entry, (list, tuple, set, frozenset)):
+            return list(entry)
+        return []
+    return []
+
+
+class Expression:
+    """Base class of every algebra expression node."""
+
+    #: operator name used in plans and reprs
+    operator: str = "expression"
+
+    @property
+    def children(self) -> Tuple["Expression", ...]:
+        """The child expressions (empty for leaves)."""
+        return ()
+
+    def with_children(self, children: Sequence["Expression"]) -> "Expression":
+        """Rebuild this node with new children (same arity required)."""
+        if children:
+            raise AlgebraError("{} has no children to replace".format(self.operator))
+        return self
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        """Dependencies guaranteed to hold in this expression's result (Theorem 4.3)."""
+        raise NotImplementedError
+
+    def known_ads(self, catalog=None) -> Set[AttributeDependency]:
+        """The abbreviated-AD view of :meth:`known_dependencies`."""
+        result: Set[AttributeDependency] = set()
+        for dependency in self.known_dependencies(catalog):
+            if isinstance(dependency, ExplicitAttributeDependency):
+                result.add(dependency.to_ad())
+            elif isinstance(dependency, FunctionalDependency):
+                result.add(dependency.to_ad())
+            else:
+                result.add(dependency)
+        return result
+
+    def guaranteed_attributes(self) -> AttributeSet:
+        """Attributes every tuple of the result is guaranteed to possess.
+
+        Contributed by selection predicates (guarded value access forces presence)
+        and by explicit type-guard nodes; destroyed by projection when the attribute
+        is projected away.
+        """
+        return AttributeSet()
+
+    def established_equalities(self) -> Dict[str, object]:
+        """Attribute→value bindings every result tuple is known to satisfy."""
+        return {}
+
+    # -- fluent construction helpers ----------------------------------------------------
+
+    def select(self, predicate: Predicate) -> "Selection":
+        return Selection(self, predicate)
+
+    def project(self, attributes) -> "Projection":
+        return Projection(self, attributes)
+
+    def guard(self, attributes) -> "TypeGuardNode":
+        return TypeGuardNode(self, attributes)
+
+    def product(self, other: "Expression") -> "Product":
+        return Product(self, other)
+
+    def union(self, other: "Expression") -> "Union":
+        return Union(self, other)
+
+    def difference(self, other: "Expression") -> "Difference":
+        return Difference(self, other)
+
+    def extend(self, attribute, value) -> "Extension":
+        return Extension(self, attribute, value)
+
+    def pretty(self, indent: int = 0) -> str:
+        """Readable multi-line rendering of the expression tree."""
+        pad = "  " * indent
+        header = pad + self._label()
+        lines = [header]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        return self.operator
+
+    def __repr__(self) -> str:
+        return self._label()
+
+
+class RelationRef(Expression):
+    """A leaf referring to a base relation by name."""
+
+    operator = "relation"
+
+    def __init__(self, name: str):
+        if not name:
+            raise AlgebraError("relation reference needs a non-empty name")
+        self.name = name
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        return set(_catalog_dependencies(catalog, self.name))
+
+    def _label(self) -> str:
+        return self.name
+
+
+class EmptyRelation(Expression):
+    """A leaf producing no tuples at all.
+
+    The optimizer substitutes it for sub-expressions that are statically known to be
+    empty (a guard on an attribute the dependencies exclude, a selection whose
+    qualification contradicts every fragment).  Unlike a selection with a false
+    predicate, an empty leaf lets the evaluator skip the input entirely.
+    """
+
+    operator = "empty"
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        # Every dependency holds vacuously in the empty instance; reporting the empty
+        # set keeps downstream reasoning conservative.
+        return set()
+
+    def _label(self) -> str:
+        return "∅"
+
+
+class Selection(Expression):
+    """``σ_F(E)`` — keep the tuples satisfying the predicate."""
+
+    operator = "select"
+
+    def __init__(self, child: Expression, predicate: Predicate):
+        self.child = child
+        self.predicate = predicate if predicate is not None else TruePredicate()
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Expression]) -> "Selection":
+        (child,) = children
+        return Selection(child, self.predicate)
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        # Rule (3): selections preserve every dependency, in explicit form too.
+        return set(self.child.known_dependencies(catalog))
+
+    def guaranteed_attributes(self) -> AttributeSet:
+        return self.child.guaranteed_attributes() | self.predicate.required_attributes()
+
+    def established_equalities(self) -> Dict[str, object]:
+        result = dict(self.child.established_equalities())
+        result.update(self.predicate.implied_equalities())
+        return result
+
+    def _label(self) -> str:
+        return "select[{!r}]".format(self.predicate)
+
+
+class TypeGuardNode(Expression):
+    """An explicit type guard: keep tuples defined on the guarded attributes."""
+
+    operator = "guard"
+
+    def __init__(self, child: Expression, attributes):
+        self.child = child
+        self.attributes = attrset(attributes)
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Expression]) -> "TypeGuardNode":
+        (child,) = children
+        return TypeGuardNode(child, self.attributes)
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        return set(self.child.known_dependencies(catalog))
+
+    def guaranteed_attributes(self) -> AttributeSet:
+        return self.child.guaranteed_attributes() | self.attributes
+
+    def established_equalities(self) -> Dict[str, object]:
+        return self.child.established_equalities()
+
+    def _label(self) -> str:
+        return "guard[{}]".format(self.attributes)
+
+
+class Projection(Expression):
+    """``π_X(E)`` — restrict every tuple to the attributes of ``X`` it possesses."""
+
+    operator = "project"
+
+    def __init__(self, child: Expression, attributes):
+        self.child = child
+        self.attributes = attrset(attributes)
+        if not self.attributes:
+            raise AlgebraError("projection needs at least one attribute")
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Expression]) -> "Projection":
+        (child,) = children
+        return Projection(child, self.attributes)
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        # Rule (2): dependencies survive only when their determinant is retained.
+        result: Set[Dependency] = set()
+        for dependency in self.child.known_dependencies(catalog):
+            if not dependency.lhs.issubset(self.attributes):
+                continue
+            if isinstance(dependency, ExplicitAttributeDependency):
+                result.add(dependency.project_rhs(self.attributes))
+            elif isinstance(dependency, FunctionalDependency):
+                if dependency.rhs.issubset(self.attributes):
+                    result.add(dependency)
+                else:
+                    result.add(FunctionalDependency(dependency.lhs,
+                                                    dependency.rhs & self.attributes))
+            else:
+                result.add(AttributeDependency(dependency.lhs,
+                                               dependency.rhs & self.attributes))
+        return result
+
+    def guaranteed_attributes(self) -> AttributeSet:
+        return self.child.guaranteed_attributes() & self.attributes
+
+    def established_equalities(self) -> Dict[str, object]:
+        child = self.child.established_equalities()
+        return {name: value for name, value in child.items() if name in self.attributes}
+
+    def _label(self) -> str:
+        return "project[{}]".format(self.attributes)
+
+
+class Product(Expression):
+    """``E1 × E2`` — cartesian product of relations with disjoint attribute sets."""
+
+    operator = "product"
+
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[Expression]) -> "Product":
+        left, right = children
+        return Product(left, right)
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        # Rule (1): the product keeps the dependencies of both inputs.
+        return set(self.left.known_dependencies(catalog)) | set(self.right.known_dependencies(catalog))
+
+    def guaranteed_attributes(self) -> AttributeSet:
+        return self.left.guaranteed_attributes() | self.right.guaranteed_attributes()
+
+    def established_equalities(self) -> Dict[str, object]:
+        result = dict(self.left.established_equalities())
+        result.update(self.right.established_equalities())
+        return result
+
+
+class Union(Expression):
+    """``E1 ∪ E2`` — set union of the two instances (no padding needed in this model)."""
+
+    operator = "union"
+
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[Expression]) -> "Union":
+        left, right = children
+        return Union(left, right)
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        # Rule (4): nothing survives an untagged union ... unless both inputs are
+        # extensions by the same tag attribute with distinct constants, in which case
+        # rule (6) applies and the tagged dependencies survive.
+        tag = self._tagging_attribute()
+        if tag is not None:
+            return set(
+                propagate_tagged_union(
+                    self.left.known_ads(catalog), self.right.known_ads(catalog), tag
+                )
+            )
+        return set(propagate_union(self.left.known_ads(catalog), self.right.known_ads(catalog)))
+
+    def _tagging_attribute(self) -> Optional[str]:
+        left, right = self.left, self.right
+        if isinstance(left, Extension) and isinstance(right, Extension):
+            if left.attribute == right.attribute and left.value != right.value:
+                return left.attribute
+        return None
+
+    def guaranteed_attributes(self) -> AttributeSet:
+        return self.left.guaranteed_attributes() & self.right.guaranteed_attributes()
+
+    def established_equalities(self) -> Dict[str, object]:
+        left = self.left.established_equalities()
+        right = self.right.established_equalities()
+        return {name: value for name, value in left.items()
+                if name in right and right[name] == value}
+
+
+class OuterUnion(Union):
+    """The outer union used to restore horizontal decompositions (Section 3.1.1).
+
+    Operationally identical to :class:`Union` on flexible relations — tuples of
+    different shapes coexist without null padding — but kept as its own node so that
+    plans document the restoration step.
+    """
+
+    operator = "outer-union"
+
+
+class Difference(Expression):
+    """``E1 − E2`` — tuples of the left input not present in the right input."""
+
+    operator = "difference"
+
+    def __init__(self, left: Expression, right: Expression):
+        self.left = left
+        self.right = right
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[Expression]) -> "Difference":
+        left, right = children
+        return Difference(left, right)
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        # Rule (5): the difference keeps the dependencies of its left input.
+        return set(self.left.known_dependencies(catalog))
+
+    def guaranteed_attributes(self) -> AttributeSet:
+        return self.left.guaranteed_attributes()
+
+    def established_equalities(self) -> Dict[str, object]:
+        return self.left.established_equalities()
+
+
+class Extension(Expression):
+    """``ε_{A:a}(E)`` — extend every tuple by attribute ``A`` with constant ``a``."""
+
+    operator = "extend"
+
+    def __init__(self, child: Expression, attribute, value):
+        self.child = child
+        attribute_set = attrset(attribute)
+        if len(attribute_set) != 1:
+            raise AlgebraError("the extension operator adds exactly one attribute")
+        self.attribute = next(iter(attribute_set)).name
+        self.value = value
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Expression]) -> "Extension":
+        (child,) = children
+        return Extension(child, self.attribute, self.value)
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        # Extension enlarges every tuple: existing dependencies keep holding.
+        return set(self.child.known_dependencies(catalog))
+
+    def guaranteed_attributes(self) -> AttributeSet:
+        return self.child.guaranteed_attributes() | attrset(self.attribute)
+
+    def established_equalities(self) -> Dict[str, object]:
+        result = dict(self.child.established_equalities())
+        result[self.attribute] = self.value
+        return result
+
+    def _label(self) -> str:
+        return "extend[{}:{!r}]".format(self.attribute, self.value)
+
+
+class Rename(Expression):
+    """``ρ(E)`` — rename attributes according to a mapping."""
+
+    operator = "rename"
+
+    def __init__(self, child: Expression, mapping: Dict[str, str]):
+        if not mapping:
+            raise AlgebraError("rename needs a non-empty mapping")
+        self.child = child
+        self.mapping = dict(mapping)
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Expression]) -> "Rename":
+        (child,) = children
+        return Rename(child, self.mapping)
+
+    def _rename_set(self, attributes: AttributeSet) -> AttributeSet:
+        return attrset(self.mapping.get(a.name, a.name) for a in attributes)
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        result: Set[Dependency] = set()
+        for dependency in self.child.known_ads(catalog):
+            result.add(AttributeDependency(self._rename_set(dependency.lhs),
+                                           self._rename_set(dependency.rhs)))
+        return result
+
+    def guaranteed_attributes(self) -> AttributeSet:
+        return self._rename_set(self.child.guaranteed_attributes())
+
+    def established_equalities(self) -> Dict[str, object]:
+        child = self.child.established_equalities()
+        return {self.mapping.get(name, name): value for name, value in child.items()}
+
+    def _label(self) -> str:
+        return "rename[{}]".format(self.mapping)
+
+
+class NaturalJoin(Expression):
+    """``E1 ⋈ E2`` — join on the attributes shared by the joined tuples."""
+
+    operator = "join"
+
+    def __init__(self, left: Expression, right: Expression, on=None):
+        self.left = left
+        self.right = right
+        self.on = attrset(on) if on is not None else None
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[Expression]) -> "NaturalJoin":
+        left, right = children
+        return NaturalJoin(left, right, on=self.on)
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        # Joins enlarge their inputs; like the product they keep both dependency sets.
+        return set(self.left.known_dependencies(catalog)) | set(self.right.known_dependencies(catalog))
+
+    def guaranteed_attributes(self) -> AttributeSet:
+        return self.left.guaranteed_attributes() | self.right.guaranteed_attributes()
+
+    def established_equalities(self) -> Dict[str, object]:
+        result = dict(self.left.established_equalities())
+        result.update(self.right.established_equalities())
+        return result
+
+    def _label(self) -> str:
+        return "join[on={}]".format(self.on if self.on is not None else "shared")
+
+
+class MultiwayJoin(Expression):
+    """The multiway join restoring a vertical decomposition (Section 3.1.1).
+
+    The first input is the master fragment; every further input is merged into the
+    master's tuples on the ``on`` attributes.  Master tuples without a partner in a
+    dependent fragment stay as they are (variants simply contribute nothing), which
+    is exactly why the restoration needs a multiway join rather than a chain of
+    natural joins.
+    """
+
+    operator = "multiway-join"
+
+    def __init__(self, inputs: Sequence[Expression], on):
+        inputs = tuple(inputs)
+        if len(inputs) < 2:
+            raise AlgebraError("a multiway join needs at least two inputs")
+        self.inputs = inputs
+        self.on = attrset(on)
+        if not self.on:
+            raise AlgebraError("a multiway join needs join attributes")
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return self.inputs
+
+    def with_children(self, children: Sequence[Expression]) -> "MultiwayJoin":
+        return MultiwayJoin(tuple(children), self.on)
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        result: Set[Dependency] = set()
+        for child in self.inputs:
+            result |= set(child.known_dependencies(catalog))
+        return result
+
+    def guaranteed_attributes(self) -> AttributeSet:
+        return self.inputs[0].guaranteed_attributes() | self.on
+
+    def established_equalities(self) -> Dict[str, object]:
+        return self.inputs[0].established_equalities()
+
+    def _label(self) -> str:
+        return "multiway-join[on={}]".format(self.on)

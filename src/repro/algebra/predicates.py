@@ -1,0 +1,301 @@
+"""Selection predicates.
+
+Predicates evaluate against single tuples.  Because tuples are heterogeneous, value
+access is guarded: a comparison over an attribute the tuple does not possess is
+*false* (it does not raise) — exactly the behaviour the paper requires when it says
+"the access of values must be preceded by a type guard when structural variants are
+allowed" (Section 4.2).  A comparison therefore acts as an implicit type guard on
+the attributes it mentions.
+
+For the optimizer the interesting question is what a predicate *implies*:
+
+* :meth:`Predicate.implied_equalities` extracts the attribute→value bindings that
+  every satisfying tuple must exhibit (conjunctions of equality comparisons — the
+  shape used in Example 4's ``salary > 5000 AND jobtype = 'secretary'``);
+* :meth:`Predicate.required_attributes` lists the attributes whose presence is
+  forced by the predicate.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.errors import PredicateError
+from repro.model.attributes import AttributeSet, attrset
+from repro.model.tuples import FlexTuple
+
+_OPERATORS: Dict[str, Callable] = {
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "in": lambda value, collection: value in collection,
+}
+
+
+class Predicate:
+    """Base class of all selection predicates."""
+
+    def evaluate(self, tup: FlexTuple) -> bool:
+        """``True`` when the tuple satisfies the predicate."""
+        raise NotImplementedError
+
+    def __call__(self, tup: FlexTuple) -> bool:
+        return self.evaluate(tup)
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """Every attribute mentioned by the predicate."""
+        raise NotImplementedError
+
+    def required_attributes(self) -> AttributeSet:
+        """Attributes whose presence is necessary for the predicate to hold.
+
+        Conservative: predicates under negation or disjunction contribute nothing.
+        """
+        return AttributeSet()
+
+    def implied_equalities(self) -> Dict[str, object]:
+        """Attribute→value bindings every satisfying tuple must exhibit."""
+        return {}
+
+    # -- combinators ----------------------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+class TruePredicate(Predicate):
+    """The predicate satisfied by every tuple."""
+
+    def evaluate(self, tup: FlexTuple) -> bool:
+        return True
+
+    @property
+    def attributes(self) -> AttributeSet:
+        return AttributeSet()
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class FalsePredicate(Predicate):
+    """The predicate satisfied by no tuple (used to mark contradictory selections)."""
+
+    def evaluate(self, tup: FlexTuple) -> bool:
+        return False
+
+    @property
+    def attributes(self) -> AttributeSet:
+        return AttributeSet()
+
+    def __repr__(self) -> str:
+        return "FALSE"
+
+
+class Comparison(Predicate):
+    """``attribute <op> constant`` with guarded attribute access."""
+
+    def __init__(self, attribute, op: str, value):
+        if op not in _OPERATORS:
+            raise PredicateError("unknown comparison operator {!r}".format(op))
+        self.attribute = attrset(attribute)
+        if len(self.attribute) != 1:
+            raise PredicateError("a comparison refers to exactly one attribute")
+        self.op = op
+        self.value = value
+
+    @property
+    def _name(self) -> str:
+        return next(iter(self.attribute)).name
+
+    def evaluate(self, tup: FlexTuple) -> bool:
+        if self._name not in tup:
+            return False
+        try:
+            return bool(_OPERATORS[self.op](tup[self._name], self.value))
+        except TypeError:
+            return False
+
+    @property
+    def attributes(self) -> AttributeSet:
+        return self.attribute
+
+    def required_attributes(self) -> AttributeSet:
+        return self.attribute
+
+    def implied_equalities(self) -> Dict[str, object]:
+        if self.op in ("=", "=="):
+            return {self._name: self.value}
+        return {}
+
+    def __repr__(self) -> str:
+        return "{} {} {!r}".format(self._name, self.op, self.value)
+
+
+class AttributeComparison(Predicate):
+    """``attribute <op> attribute`` (e.g. join conditions inside a selection)."""
+
+    def __init__(self, left, op: str, right):
+        if op not in _OPERATORS:
+            raise PredicateError("unknown comparison operator {!r}".format(op))
+        self.left = attrset(left)
+        self.right = attrset(right)
+        if len(self.left) != 1 or len(self.right) != 1:
+            raise PredicateError("an attribute comparison refers to exactly two attributes")
+        self.op = op
+
+    def evaluate(self, tup: FlexTuple) -> bool:
+        left = next(iter(self.left)).name
+        right = next(iter(self.right)).name
+        if left not in tup or right not in tup:
+            return False
+        try:
+            return bool(_OPERATORS[self.op](tup[left], tup[right]))
+        except TypeError:
+            return False
+
+    @property
+    def attributes(self) -> AttributeSet:
+        return self.left | self.right
+
+    def required_attributes(self) -> AttributeSet:
+        return self.left | self.right
+
+    def __repr__(self) -> str:
+        return "{} {} {}".format(
+            next(iter(self.left)).name, self.op, next(iter(self.right)).name
+        )
+
+
+class PresencePredicate(Predicate):
+    """An explicit type guard inside a predicate: ``attributes ⊆ attr(t)``."""
+
+    def __init__(self, attributes):
+        self._attributes = attrset(attributes)
+
+    def evaluate(self, tup: FlexTuple) -> bool:
+        return tup.is_defined_on(self._attributes)
+
+    @property
+    def attributes(self) -> AttributeSet:
+        return self._attributes
+
+    def required_attributes(self) -> AttributeSet:
+        return self._attributes
+
+    def __repr__(self) -> str:
+        return "HAS {}".format(self._attributes)
+
+
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    def __init__(self, *operands: Predicate):
+        if not operands:
+            raise PredicateError("AND needs at least one operand")
+        flattened = []
+        for operand in operands:
+            if isinstance(operand, And):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        self.operands: Tuple[Predicate, ...] = tuple(flattened)
+
+    def evaluate(self, tup: FlexTuple) -> bool:
+        return all(operand.evaluate(tup) for operand in self.operands)
+
+    @property
+    def attributes(self) -> AttributeSet:
+        result = AttributeSet()
+        for operand in self.operands:
+            result = result | operand.attributes
+        return result
+
+    def required_attributes(self) -> AttributeSet:
+        result = AttributeSet()
+        for operand in self.operands:
+            result = result | operand.required_attributes()
+        return result
+
+    def implied_equalities(self) -> Dict[str, object]:
+        result: Dict[str, object] = {}
+        for operand in self.operands:
+            result.update(operand.implied_equalities())
+        return result
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(operand) for operand in self.operands) + ")"
+
+
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    def __init__(self, *operands: Predicate):
+        if not operands:
+            raise PredicateError("OR needs at least one operand")
+        flattened = []
+        for operand in operands:
+            if isinstance(operand, Or):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        self.operands: Tuple[Predicate, ...] = tuple(flattened)
+
+    def evaluate(self, tup: FlexTuple) -> bool:
+        return any(operand.evaluate(tup) for operand in self.operands)
+
+    @property
+    def attributes(self) -> AttributeSet:
+        result = AttributeSet()
+        for operand in self.operands:
+            result = result | operand.attributes
+        return result
+
+    def implied_equalities(self) -> Dict[str, object]:
+        # An equality is implied by a disjunction only when every branch implies it.
+        branches = [operand.implied_equalities() for operand in self.operands]
+        if not branches:
+            return {}
+        common = dict(branches[0])
+        for branch in branches[1:]:
+            for key in list(common):
+                if key not in branch or branch[key] != common[key]:
+                    del common[key]
+        return common
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(operand) for operand in self.operands) + ")"
+
+
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    def __init__(self, operand: Predicate):
+        self.operand = operand
+
+    def evaluate(self, tup: FlexTuple) -> bool:
+        return not self.operand.evaluate(tup)
+
+    @property
+    def attributes(self) -> AttributeSet:
+        return self.operand.attributes
+
+    def __repr__(self) -> str:
+        return "NOT ({!r})".format(self.operand)
+
+
+def attribute_equals(attribute, value) -> Comparison:
+    """Shorthand for the ubiquitous equality comparison."""
+    return Comparison(attribute, "=", value)

@@ -1,0 +1,30 @@
+"""Baselines the paper compares attribute dependencies against.
+
+* :mod:`repro.baselines.null_relations` — the classical single-relation translations
+  of a specialization: one homogeneous table over all attributes, missing values
+  padded with NULLs, plus an artificial variant-tag attribute (or one boolean flag
+  per subclass) that the user must set and interpret (Section 3.1.1).
+* :mod:`repro.baselines.multirelation` — the "multirelation" model of Ahad & Basu
+  with image attributes, which Section 5 shows to be a special case of attribute
+  dependencies.
+* :mod:`repro.baselines.record_subtyping` — the traditional record-subtyping rule
+  without the causal connection ADs add (the comparison of Section 3.2).
+"""
+
+from repro.baselines.null_relations import BooleanFlagTable, NullPaddedTable
+from repro.baselines.multirelation import ImageAttribute, Multirelation
+from repro.baselines.record_subtyping import (
+    SubtypeLattice,
+    accepted_supertypes,
+    common_supertypes,
+)
+
+__all__ = [
+    "NullPaddedTable",
+    "BooleanFlagTable",
+    "Multirelation",
+    "ImageAttribute",
+    "SubtypeLattice",
+    "accepted_supertypes",
+    "common_supertypes",
+]

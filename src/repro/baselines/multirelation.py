@@ -1,0 +1,154 @@
+"""The multirelation model of Ahad & Basu (ESQL), with image attributes.
+
+Section 5 of the paper: the multirelation model decomposes an entity into a *master*
+relation and *depending* relations holding the variant information; the connection
+is recorded by an **image attribute** — an attribute of the master relation whose
+domain consists of relation *names*.  Restoration of the complete information can
+then be automated by following the image attribute.
+
+The paper's claim is that "image attributes can be regarded as a special case of an
+attribute dependency using a single artificial attribute as determinant".  This
+module implements the multirelation model faithfully (so experiment E9 can compare
+behaviour) and provides :meth:`Multirelation.to_explicit_ad`, the translation into
+the equivalent explicit AD.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.dependencies import ExplicitAttributeDependency, Variant
+from repro.errors import ReproError
+from repro.model.attributes import AttributeSet, attrset
+from repro.model.tuples import FlexTuple
+
+
+class ImageAttribute:
+    """An attribute whose domain is a set of depending-relation names."""
+
+    def __init__(self, name: str, relation_names: Sequence[str]):
+        if not name:
+            raise ReproError("an image attribute needs a name")
+        self.name = name
+        self.relation_names = tuple(relation_names)
+        if not self.relation_names:
+            raise ReproError("an image attribute needs at least one relation name")
+
+    def __repr__(self) -> str:
+        return "ImageAttribute({!r}, relations={})".format(self.name, list(self.relation_names))
+
+
+class Multirelation:
+    """A master relation plus depending relations connected by an image attribute.
+
+    ``master_attributes`` are the attributes every entity carries (including the
+    key); ``depending`` maps each depending-relation name to the attribute set it
+    stores.  The image attribute's value in a master tuple names the depending
+    relation holding that entity's variant attributes.
+    """
+
+    def __init__(self, master_attributes, key, image: ImageAttribute,
+                 depending: Dict[str, Iterable]):
+        self.master_attributes = attrset(master_attributes)
+        self.key = attrset(key)
+        if not self.key.issubset(self.master_attributes):
+            raise ReproError("the key must be part of the master attributes")
+        self.image = image
+        self.depending_schemas: Dict[str, AttributeSet] = {
+            name: attrset(attributes) for name, attributes in depending.items()
+        }
+        unknown = set(image.relation_names) - set(self.depending_schemas)
+        if unknown:
+            raise ReproError("image attribute names unknown depending relations: {}".format(unknown))
+        self.master_rows: List[Dict[str, object]] = []
+        self.depending_rows: Dict[str, List[Dict[str, object]]] = {
+            name: [] for name in self.depending_schemas
+        }
+
+    # -- loading ---------------------------------------------------------------------------------
+
+    def insert(self, item) -> None:
+        """Split an entity tuple into a master row and (at most) one depending row.
+
+        The depending relation is chosen as the one whose attribute set (beyond the
+        key) matches the variant attributes the tuple carries; entities without
+        variant attributes get a NULL image value.
+        """
+        tup = item if isinstance(item, FlexTuple) else FlexTuple(item)
+        if not tup.is_defined_on(self.key):
+            raise ReproError("tuple {!r} lacks the key {}".format(tup, self.key))
+        variant_attrs = tup.attributes - self.master_attributes
+        master_row = {a.name: tup[a] for a in (tup.attributes & self.master_attributes)}
+        target: Optional[str] = None
+        if variant_attrs:
+            for name, schema in self.depending_schemas.items():
+                if variant_attrs == (schema - self.key):
+                    target = name
+                    break
+            if target is None:
+                raise ReproError(
+                    "no depending relation stores the attribute combination {}".format(variant_attrs)
+                )
+            depending_row = {a.name: tup[a] for a in (self.key | variant_attrs)}
+            self.depending_rows[target].append(depending_row)
+        master_row[self.image.name] = target
+        self.master_rows.append(master_row)
+
+    def insert_many(self, items: Iterable) -> None:
+        for item in items:
+            self.insert(item)
+
+    # -- restoration ------------------------------------------------------------------------------
+
+    def restore(self) -> Set[FlexTuple]:
+        """Follow the image attribute to rebuild the complete heterogeneous instance."""
+        indexes: Dict[str, Dict[Tuple, Dict[str, object]]] = {}
+        for name, rows in self.depending_rows.items():
+            index: Dict[Tuple, Dict[str, object]] = {}
+            for row in rows:
+                index[tuple(row[a.name] for a in self.key)] = row
+            indexes[name] = index
+        result: Set[FlexTuple] = set()
+        for master_row in self.master_rows:
+            values = {name: value for name, value in master_row.items() if name != self.image.name}
+            target = master_row[self.image.name]
+            if target is not None:
+                key_value = tuple(master_row[a.name] for a in self.key)
+                depending_row = indexes[target].get(key_value)
+                if depending_row is not None:
+                    values.update(depending_row)
+            result.add(FlexTuple(values))
+        return result
+
+    # -- the paper's claim -------------------------------------------------------------------------------
+
+    def to_explicit_ad(self) -> ExplicitAttributeDependency:
+        """The explicit AD equivalent to this multirelation's image attribute.
+
+        The artificial determinant is the image attribute itself; each depending
+        relation becomes one variant whose attribute set is the relation's schema
+        minus the key.
+        """
+        variants = []
+        all_variant_attrs = AttributeSet()
+        for name in self.image.relation_names:
+            local = self.depending_schemas[name] - self.key
+            all_variant_attrs = all_variant_attrs | local
+            variants.append(Variant([{self.image.name: name}], local, name=name))
+        return ExplicitAttributeDependency(attrset(self.image.name), all_variant_attrs, variants)
+
+    # -- metrics -------------------------------------------------------------------------------------------
+
+    def stored_cells(self) -> int:
+        """Cells stored across the master and depending relations (incl. image values)."""
+        cells = sum(len(row) for row in self.master_rows)
+        for rows in self.depending_rows.values():
+            cells += sum(len(row) for row in rows)
+        return cells
+
+    def __len__(self) -> int:
+        return len(self.master_rows)
+
+    def __repr__(self) -> str:
+        depending = {name: len(rows) for name, rows in self.depending_rows.items()}
+        return "Multirelation(master={}, depending={})".format(len(self.master_rows), depending)

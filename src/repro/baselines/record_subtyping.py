@@ -1,0 +1,91 @@
+"""The traditional record-subtyping baseline (no attribute dependencies).
+
+Used by experiment E7: given a family of subtypes, the traditional rule accepts any
+record type all subtypes are record-subtypes of as a valid supertype — including the
+types that drop the determining attributes and thereby destroy the connection between
+determinant and variants.  The functions here work purely on
+:class:`~repro.types.record_types.RecordType` values and the Cardelli rule, with no
+knowledge of dependencies, so the comparison isolates exactly what ADs add.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.types.record_types import RecordType, is_record_subtype
+
+
+class SubtypeLattice:
+    """The subtype relation over a finite set of record types."""
+
+    def __init__(self, types: Sequence[RecordType]):
+        self.types = list(types)
+        self._edges: Set[Tuple[str, str]] = set()
+        for sub in self.types:
+            for sup in self.types:
+                if sub is not sup and is_record_subtype(sub, sup):
+                    self._edges.add((sub.name, sup.name))
+
+    def is_subtype(self, sub_name: str, super_name: str) -> bool:
+        """``True`` when the named pair is in the (irreflexive) subtype relation."""
+        return (sub_name, super_name) in self._edges
+
+    def supertypes_of(self, name: str) -> List[str]:
+        """Names of the lattice members the named type is a subtype of."""
+        return sorted(sup for sub, sup in self._edges if sub == name)
+
+    def subtypes_of(self, name: str) -> List[str]:
+        """Names of the lattice members that are subtypes of the named type."""
+        return sorted(sub for sub, sup in self._edges if sup == name)
+
+    def edges(self) -> Set[Tuple[str, str]]:
+        return set(self._edges)
+
+    def __repr__(self) -> str:
+        return "SubtypeLattice(types={}, edges={})".format(
+            [t.name for t in self.types], len(self._edges)
+        )
+
+
+def accepted_supertypes(candidates: Iterable[RecordType],
+                        subtypes: Iterable[RecordType]) -> List[RecordType]:
+    """Candidates the traditional rule accepts as a common supertype of all subtypes."""
+    subtypes = list(subtypes)
+    return [
+        candidate for candidate in candidates
+        if all(is_record_subtype(subtype, candidate) for subtype in subtypes)
+    ]
+
+
+def common_supertypes(subtypes: Sequence[RecordType], name: str = "common") -> List[RecordType]:
+    """Every projection of the shared fields that is a common supertype of all subtypes.
+
+    This enumerates the candidate supertypes the traditional rule offers for a family
+    of subtypes: any subset of the fields (with domains general enough for every
+    subtype) qualifies.
+    """
+    if not subtypes:
+        return []
+    shared = set(subtypes[0].fields)
+    for subtype in subtypes[1:]:
+        shared &= set(subtype.fields)
+    shared = sorted(shared)
+    results: List[RecordType] = []
+    for size in range(1, len(shared) + 1):
+        for combo in combinations(shared, size):
+            fields: Dict[str, object] = {}
+            for field in combo:
+                # Choose the most general domain among the subtypes for this field.
+                domains = [subtype.domain_of(field) for subtype in subtypes]
+                general = domains[0]
+                for domain in domains[1:]:
+                    from repro.types.record_types import domain_subsumes
+
+                    if domain_subsumes(domain, general):
+                        general = domain
+                fields[field] = general
+            candidate = RecordType("{}<{}>".format(name, ",".join(combo)), fields)
+            if all(is_record_subtype(subtype, candidate) for subtype in subtypes):
+                results.append(candidate)
+    return results

@@ -1,0 +1,92 @@
+"""The paper's primary contribution: attribute dependencies and their theory.
+
+Exports the dependency classes (explicit ADs, ADs, FDs), the closure and implication
+machinery, the axiom systems Å and Å* with proof traces, the AD-based subtyping
+constructions of Section 3.2, the propagation rules of Theorem 4.3, and dependency
+discovery over instances.
+"""
+
+from repro.core.dependencies import (
+    AttributeDependency,
+    Dependency,
+    ExplicitAttributeDependency,
+    FunctionalDependency,
+    Variant,
+    ad,
+    ead,
+    fd,
+)
+from repro.core.closure import (
+    attribute_closure,
+    functional_closure,
+    implies,
+    implies_all,
+    minimal_cover,
+)
+from repro.core.axioms import (
+    AXIOM_SYSTEM_AD,
+    AXIOM_SYSTEM_COMBINED,
+    AxiomSystem,
+    DerivationStep,
+    DerivationTrace,
+    InferenceRule,
+    derive,
+    forward_chain,
+)
+from repro.core.implication import (
+    counterexample_relation,
+    random_satisfying_relation,
+    semantically_implies,
+)
+from repro.core.propagation import (
+    propagate_difference,
+    propagate_product,
+    propagate_projection,
+    propagate_selection,
+    propagate_tagged_union,
+    propagate_union,
+)
+from repro.core.subtyping import (
+    SubtypeFamily,
+    derive_subtype_family,
+    lost_connection,
+)
+from repro.core.inference import discover_ads, discover_fds
+
+__all__ = [
+    "Dependency",
+    "AttributeDependency",
+    "ExplicitAttributeDependency",
+    "FunctionalDependency",
+    "Variant",
+    "ad",
+    "ead",
+    "fd",
+    "attribute_closure",
+    "functional_closure",
+    "implies",
+    "implies_all",
+    "minimal_cover",
+    "AxiomSystem",
+    "AXIOM_SYSTEM_AD",
+    "AXIOM_SYSTEM_COMBINED",
+    "InferenceRule",
+    "DerivationStep",
+    "DerivationTrace",
+    "derive",
+    "forward_chain",
+    "counterexample_relation",
+    "random_satisfying_relation",
+    "semantically_implies",
+    "propagate_product",
+    "propagate_projection",
+    "propagate_selection",
+    "propagate_union",
+    "propagate_difference",
+    "propagate_tagged_union",
+    "SubtypeFamily",
+    "derive_subtype_family",
+    "lost_connection",
+    "discover_ads",
+    "discover_fds",
+]

@@ -1,0 +1,472 @@
+r"""The axiom systems Å and Å* with a derivation engine and proof traces.
+
+Section 4 of the paper defines two rule systems:
+
+* **Å** (Theorem 4.1) for attribute dependencies alone:
+
+  - (A1) projectivity      ``X --attr--> YZ ⊢ X --attr--> Y``
+  - (A2) additivity        ``{X --attr--> Y, X --attr--> Z} ⊢ X --attr--> YZ``
+  - (A3) reflexivity       ``∅ ⊢ X --attr--> Y`` if ``Y ⊆ X``
+  - (A4) left augmentation ``X --attr--> Y ⊢ XZ --attr--> Y``
+
+* **Å\*** (Theorem 4.2) for functional and attribute dependencies combined:
+
+  - (AF1) subsumption           ``X --func--> Y ⊢ X --attr--> Y``
+  - (AF2) combined transitivity ``{X --func--> Y, Y --attr--> Z} ⊢ X --attr--> Z``
+  - (A1), (A2) as above
+  - (F1) FD reflexivity   ``∅ ⊢ X --func--> Y`` if ``Y ⊆ X``
+  - (F2) FD augmentation  ``X --func--> Y ⊢ XZ --func--> YZ``
+  - (F3) FD transitivity  ``{X --func--> Y, Y --func--> Z} ⊢ X --func--> Z``
+
+Two engines are provided:
+
+* :func:`derive` — a *constructive* prover.  It decides derivability through the
+  closures of :mod:`repro.core.closure` and, when the target is derivable, emits a
+  :class:`DerivationTrace` whose steps each name the applied rule, the premises and
+  the conclusion (the canonical derivations from the completeness proof).
+* :func:`forward_chain` — a *generic* saturation engine that applies the rules
+  syntactically over a bounded attribute universe.  It is slower but lets the
+  experiments drop individual rules, which is how the non-redundancy part of
+  Theorems 4.1/4.2 is demonstrated empirically (benchmarks E3/E4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.closure import attribute_closure, functional_closure, split_dependencies
+from repro.core.dependencies import (
+    AttributeDependency,
+    Dependency,
+    ExplicitAttributeDependency,
+    FunctionalDependency,
+)
+from repro.errors import DerivationError
+from repro.model.attributes import AttributeSet, attrset
+
+
+class DerivationStep:
+    """One application of an inference rule."""
+
+    def __init__(self, rule: str, premises: Sequence[Dependency], conclusion: Dependency):
+        self.rule = rule
+        self.premises = tuple(premises)
+        self.conclusion = conclusion
+
+    def __repr__(self) -> str:
+        if self.premises:
+            premises = ", ".join(repr(p) for p in self.premises)
+            return "[{}] {{{}}} ⊢ {}".format(self.rule, premises, self.conclusion)
+        return "[{}] ∅ ⊢ {}".format(self.rule, self.conclusion)
+
+
+class DerivationTrace:
+    """A full derivation: the hypotheses used plus the ordered list of steps."""
+
+    def __init__(self, target: Dependency, steps: Sequence[DerivationStep],
+                 hypotheses: Sequence[Dependency]):
+        self.target = target
+        self.steps = list(steps)
+        self.hypotheses = list(hypotheses)
+
+    @property
+    def conclusion(self) -> Dependency:
+        """The final derived dependency (equals the requested target)."""
+        if not self.steps:
+            return self.target
+        return self.steps[-1].conclusion
+
+    def rules_used(self) -> List[str]:
+        """The rule names in application order."""
+        return [step.rule for step in self.steps]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __repr__(self) -> str:
+        lines = ["derivation of {}:".format(self.target)]
+        for index, step in enumerate(self.steps, start=1):
+            lines.append("  {:2d}. {!r}".format(index, step))
+        return "\n".join(lines)
+
+
+class InferenceRule:
+    """A named inference rule usable by the forward-chaining engine.
+
+    ``instantiate`` receives the currently known dependencies and the attribute
+    universe and yields ``(conclusion, premises)`` pairs for every (bounded)
+    applicable instantiation.
+    """
+
+    def __init__(self, name: str,
+                 instantiate: Callable[[Sequence[Dependency], AttributeSet], Iterable[Tuple[Dependency, Tuple[Dependency, ...]]]]):
+        self.name = name
+        self._instantiate = instantiate
+
+    def instantiate(self, known: Sequence[Dependency], universe: AttributeSet):
+        return self._instantiate(known, universe)
+
+    def __repr__(self) -> str:
+        return "InferenceRule({!r})".format(self.name)
+
+
+def _subsets(attributes: AttributeSet, include_empty: bool = True) -> Iterable[AttributeSet]:
+    items = list(attributes)
+    start = 0 if include_empty else 1
+    for size in range(start, len(items) + 1):
+        for combo in itertools.combinations(items, size):
+            yield AttributeSet(combo)
+
+
+# -- rule instantiators (forward chaining) ----------------------------------------------------------
+
+
+def _rule_projectivity(known, universe):
+    for dep in known:
+        if not isinstance(dep, AttributeDependency) or isinstance(dep, FunctionalDependency):
+            continue
+        for subset in _subsets(dep.rhs, include_empty=True):
+            if subset != dep.rhs:
+                yield AttributeDependency(dep.lhs, subset), (dep,)
+
+
+def _rule_additivity(known, universe):
+    ads = [d for d in known
+           if isinstance(d, AttributeDependency) and not isinstance(d, FunctionalDependency)]
+    for left, right in itertools.combinations(ads, 2):
+        if left.lhs == right.lhs:
+            yield AttributeDependency(left.lhs, left.rhs | right.rhs), (left, right)
+
+
+def _rule_ad_reflexivity(known, universe):
+    for lhs in _subsets(universe, include_empty=False):
+        for rhs in _subsets(lhs, include_empty=True):
+            yield AttributeDependency(lhs, rhs), ()
+
+
+def _rule_left_augmentation(known, universe):
+    for dep in known:
+        if not isinstance(dep, AttributeDependency) or isinstance(dep, FunctionalDependency):
+            continue
+        extra = universe - dep.lhs
+        for addition in _subsets(extra, include_empty=False):
+            yield AttributeDependency(dep.lhs | addition, dep.rhs), (dep,)
+
+
+def _rule_subsumption(known, universe):
+    for dep in known:
+        if isinstance(dep, FunctionalDependency):
+            yield AttributeDependency(dep.lhs, dep.rhs), (dep,)
+
+
+def _rule_combined_transitivity(known, universe):
+    fds = [d for d in known if isinstance(d, FunctionalDependency)]
+    ads = [d for d in known
+           if isinstance(d, AttributeDependency) and not isinstance(d, FunctionalDependency)]
+    for fd_dep in fds:
+        for ad_dep in ads:
+            if fd_dep.rhs == ad_dep.lhs:
+                yield AttributeDependency(fd_dep.lhs, ad_dep.rhs), (fd_dep, ad_dep)
+
+
+def _rule_fd_reflexivity(known, universe):
+    for lhs in _subsets(universe, include_empty=False):
+        for rhs in _subsets(lhs, include_empty=True):
+            yield FunctionalDependency(lhs, rhs), ()
+
+
+def _rule_fd_augmentation(known, universe):
+    for dep in known:
+        if not isinstance(dep, FunctionalDependency):
+            continue
+        # Z may overlap the dependency's own attributes (e.g. A --func--> B augmented
+        # with A yields A --func--> AB), so every non-empty subset of the universe is
+        # a legal augmentation.
+        for addition in _subsets(universe, include_empty=False):
+            augmented = FunctionalDependency(dep.lhs | addition, dep.rhs | addition)
+            if augmented != dep:
+                yield augmented, (dep,)
+
+
+def _rule_fd_transitivity(known, universe):
+    fds = [d for d in known if isinstance(d, FunctionalDependency)]
+    for first in fds:
+        for second in fds:
+            if first.rhs == second.lhs:
+                yield FunctionalDependency(first.lhs, second.rhs), (first, second)
+
+
+RULE_PROJECTIVITY = InferenceRule("A1 projectivity", _rule_projectivity)
+RULE_ADDITIVITY = InferenceRule("A2 additivity", _rule_additivity)
+RULE_AD_REFLEXIVITY = InferenceRule("A3 reflexivity", _rule_ad_reflexivity)
+RULE_LEFT_AUGMENTATION = InferenceRule("A4 left augmentation", _rule_left_augmentation)
+RULE_SUBSUMPTION = InferenceRule("AF1 subsumption", _rule_subsumption)
+RULE_COMBINED_TRANSITIVITY = InferenceRule("AF2 combined transitivity", _rule_combined_transitivity)
+RULE_FD_REFLEXIVITY = InferenceRule("F1 reflexivity", _rule_fd_reflexivity)
+RULE_FD_AUGMENTATION = InferenceRule("F2 augmentation", _rule_fd_augmentation)
+RULE_FD_TRANSITIVITY = InferenceRule("F3 transitivity", _rule_fd_transitivity)
+
+
+class AxiomSystem:
+    """A named collection of inference rules."""
+
+    def __init__(self, name: str, rules: Sequence[InferenceRule], combined: bool):
+        self.name = name
+        self.rules = list(rules)
+        #: whether the system handles functional dependencies (Å* does, Å does not)
+        self.combined = combined
+
+    def without(self, rule_name: str) -> "AxiomSystem":
+        """A copy of the system with one rule removed (for non-redundancy studies)."""
+        remaining = [r for r in self.rules if r.name != rule_name]
+        if len(remaining) == len(self.rules):
+            raise DerivationError("no rule named {!r} in {}".format(rule_name, self.name))
+        return AxiomSystem("{} \\ {{{}}}".format(self.name, rule_name), remaining, self.combined)
+
+    def rule_names(self) -> List[str]:
+        return [rule.name for rule in self.rules]
+
+    def __repr__(self) -> str:
+        return "AxiomSystem({!r}, rules={})".format(self.name, self.rule_names())
+
+
+#: the pure attribute-dependency system Å of Theorem 4.1
+AXIOM_SYSTEM_AD = AxiomSystem(
+    "Å",
+    [RULE_PROJECTIVITY, RULE_ADDITIVITY, RULE_AD_REFLEXIVITY, RULE_LEFT_AUGMENTATION],
+    combined=False,
+)
+
+#: the combined system Å* of Theorem 4.2
+AXIOM_SYSTEM_COMBINED = AxiomSystem(
+    "Å*",
+    [
+        RULE_SUBSUMPTION,
+        RULE_COMBINED_TRANSITIVITY,
+        RULE_PROJECTIVITY,
+        RULE_ADDITIVITY,
+        RULE_FD_REFLEXIVITY,
+        RULE_FD_AUGMENTATION,
+        RULE_FD_TRANSITIVITY,
+    ],
+    combined=True,
+)
+
+
+# -- forward chaining --------------------------------------------------------------------------------
+
+
+def forward_chain(
+    dependencies: Iterable[Dependency],
+    universe=None,
+    system: AxiomSystem = AXIOM_SYSTEM_COMBINED,
+    max_rounds: int = 10,
+    max_dependencies: int = 20_000,
+) -> Set[Dependency]:
+    """Saturate a dependency set under the rules of ``system``.
+
+    The attribute universe defaults to the attributes mentioned by the input
+    dependencies.  Intended for *small* universes (≤ 6 attributes): rules such as
+    reflexivity and augmentation enumerate subsets of the universe.  The caps on
+    rounds and on the number of produced dependencies guard against blow-up; hitting
+    a cap raises :class:`DerivationError` so experiments never silently truncate.
+    """
+    dependencies = list(dependencies)
+    fds, ads = split_dependencies(dependencies)
+    known: Set[Dependency] = set(fds) | set(ads)
+    if universe is None:
+        universe = AttributeSet()
+        for dependency in known:
+            universe = universe | dependency.attributes
+    else:
+        universe = attrset(universe)
+    for _ in range(max_rounds):
+        added = False
+        for rule in system.rules:
+            for conclusion, _premises in rule.instantiate(sorted(known, key=repr), universe):
+                if conclusion not in known:
+                    known.add(conclusion)
+                    added = True
+                    if len(known) > max_dependencies:
+                        raise DerivationError(
+                            "forward chaining exceeded {} dependencies; "
+                            "use a smaller universe".format(max_dependencies)
+                        )
+        if not added:
+            return known
+    raise DerivationError("forward chaining did not reach a fixpoint in {} rounds".format(max_rounds))
+
+
+def chain_derives(
+    dependencies: Iterable[Dependency],
+    target: Dependency,
+    system: AxiomSystem = AXIOM_SYSTEM_COMBINED,
+    universe=None,
+    max_rounds: int = 10,
+) -> bool:
+    """Decide derivability by saturation (slow path; supports rule-dropped systems)."""
+    if isinstance(target, ExplicitAttributeDependency):
+        target = target.to_ad()
+    universe = attrset(universe) if universe is not None else None
+    if universe is None:
+        universe = target.attributes
+        for dependency in dependencies:
+            universe = universe | dependency.attributes
+    closure_set = forward_chain(dependencies, universe=universe, system=system,
+                                max_rounds=max_rounds)
+    return target in closure_set
+
+
+# -- constructive derivation with proof traces ------------------------------------------------------------
+
+
+def derive(
+    dependencies: Iterable[Dependency],
+    target: Dependency,
+    system: AxiomSystem = AXIOM_SYSTEM_COMBINED,
+) -> Optional[DerivationTrace]:
+    """Produce a proof trace for ``target`` from ``dependencies``, or ``None``.
+
+    The trace follows the canonical constructions of the completeness proof: a
+    functional-closure derivation for FD (sub)goals, then projectivity /
+    (combined) transitivity / additivity for the AD goal.  Only the two full systems
+    are supported here — rule-dropped systems must use :func:`chain_derives`.
+    """
+    dependencies = list(dependencies)
+    fds, ads = split_dependencies(dependencies)
+    combined = system.combined
+    if isinstance(target, ExplicitAttributeDependency):
+        target = target.to_ad()
+
+    if isinstance(target, FunctionalDependency):
+        if not combined:
+            raise DerivationError("system Å cannot derive functional dependencies")
+        if not target.rhs.issubset(functional_closure(target.lhs, fds)):
+            return None
+        steps = _fd_proof(target.lhs, target.rhs, fds)
+        return DerivationTrace(target, steps, dependencies)
+
+    if not isinstance(target, AttributeDependency):
+        raise DerivationError("cannot derive {!r}".format(target))
+
+    if not target.rhs.issubset(attribute_closure(target.lhs, dependencies, combined=combined)):
+        return None
+
+    steps: List[DerivationStep] = []
+    x_func = functional_closure(target.lhs, fds) if combined else target.lhs
+    per_attribute: List[AttributeDependency] = []
+
+    if not target.rhs:
+        # X --attr--> ∅ follows from reflexivity alone.
+        conclusion = AttributeDependency(target.lhs, AttributeSet())
+        rule = "F1 reflexivity" if combined else "A3 reflexivity"
+        steps.append(DerivationStep(rule, (), FunctionalDependency(target.lhs, AttributeSet())
+                                    if combined else conclusion))
+        if combined:
+            steps.append(DerivationStep("AF1 subsumption", (steps[-1].conclusion,), conclusion))
+        return DerivationTrace(target, steps, dependencies)
+
+    for attribute in target.rhs:
+        single = AttributeSet(attribute)
+        goal = AttributeDependency(target.lhs, single)
+        if attribute in target.lhs:
+            if combined:
+                fd_goal = FunctionalDependency(target.lhs, single)
+                steps.append(DerivationStep("F1 reflexivity", (), fd_goal))
+                steps.append(DerivationStep("AF1 subsumption", (fd_goal,), goal))
+            else:
+                steps.append(DerivationStep("A3 reflexivity", (), goal))
+            per_attribute.append(goal)
+            continue
+        if combined and attribute in x_func:
+            fd_goal = FunctionalDependency(target.lhs, single)
+            steps.extend(_fd_proof(target.lhs, single, fds))
+            steps.append(DerivationStep("AF1 subsumption", (fd_goal,), goal))
+            per_attribute.append(goal)
+            continue
+        source = _find_source(ads, attribute, x_func)
+        if source is None:
+            return None
+        projected = AttributeDependency(source.lhs, single)
+        if projected != source:
+            steps.append(DerivationStep("A1 projectivity", (source,), projected))
+        if source.lhs == target.lhs:
+            if projected != goal:
+                steps.append(DerivationStep("A1 projectivity", (source,), goal))
+            per_attribute.append(goal)
+            continue
+        if combined:
+            fd_goal = FunctionalDependency(target.lhs, source.lhs)
+            steps.extend(_fd_proof(target.lhs, source.lhs, fds))
+            steps.append(DerivationStep("AF2 combined transitivity", (fd_goal, projected), goal))
+        else:
+            if not source.lhs.issubset(target.lhs):
+                return None
+            steps.append(DerivationStep("A4 left augmentation", (projected,), goal))
+        per_attribute.append(goal)
+
+    accumulated = per_attribute[0]
+    for nxt in per_attribute[1:]:
+        combined_dep = AttributeDependency(target.lhs, accumulated.rhs | nxt.rhs)
+        steps.append(DerivationStep("A2 additivity", (accumulated, nxt), combined_dep))
+        accumulated = combined_dep
+    if accumulated.rhs != target.rhs:
+        steps.append(DerivationStep("A1 projectivity", (accumulated,), target))
+    return DerivationTrace(target, steps, dependencies)
+
+
+def _find_source(ads: Sequence[AttributeDependency], attribute, determining: AttributeSet):
+    """Find a hypothesis AD whose left side is available and whose right side covers ``attribute``."""
+    for dependency in ads:
+        if dependency.lhs.issubset(determining) and attribute in dependency.rhs:
+            return dependency
+    return None
+
+
+def _fd_proof(lhs: AttributeSet, rhs: AttributeSet, fds: Sequence[FunctionalDependency]) -> List[DerivationStep]:
+    """Canonical FD derivation of ``lhs --func--> rhs`` using F1/F2/F3.
+
+    Maintains a proven dependency ``lhs --func--> C`` (starting from reflexivity with
+    ``C = lhs``) and grows ``C`` one hypothesis FD at a time:
+
+    1. ``C --func--> V``     (F1 reflexivity, since ``V ⊆ C``)
+    2. ``lhs --func--> V``   (F3 transitivity)
+    3. ``V∪C --func--> W∪C`` (F2 augmentation of the hypothesis ``V --func--> W``)
+    4. ``lhs --func--> W∪C`` (F3 transitivity with ``lhs --func--> C``, noting V∪C = C)
+    5. finally project to ``rhs`` via reflexivity + transitivity.
+    """
+    steps: List[DerivationStep] = []
+    current = FunctionalDependency(lhs, lhs)
+    steps.append(DerivationStep("F1 reflexivity", (), current))
+    covered = attrset(lhs)
+    progress = True
+    while not rhs.issubset(covered) and progress:
+        progress = False
+        for hypothesis in fds:
+            if hypothesis.lhs.issubset(covered) and not hypothesis.rhs.issubset(covered):
+                refl = FunctionalDependency(covered, hypothesis.lhs)
+                steps.append(DerivationStep("F1 reflexivity", (), refl))
+                to_lhs = FunctionalDependency(lhs, hypothesis.lhs)
+                steps.append(DerivationStep("F3 transitivity", (current, refl), to_lhs))
+                augmented = FunctionalDependency(hypothesis.lhs | covered, hypothesis.rhs | covered)
+                steps.append(DerivationStep("F2 augmentation", (hypothesis,), augmented))
+                new_current = FunctionalDependency(lhs, hypothesis.rhs | covered)
+                steps.append(DerivationStep("F3 transitivity", (current, augmented), new_current))
+                current = new_current
+                covered = covered | hypothesis.rhs
+                progress = True
+                break
+    if not rhs.issubset(covered):
+        raise DerivationError(
+            "internal error: {} is not in the functional closure of {}".format(rhs, lhs)
+        )
+    if current.rhs != rhs:
+        refl = FunctionalDependency(covered, rhs)
+        steps.append(DerivationStep("F1 reflexivity", (), refl))
+        final = FunctionalDependency(lhs, rhs)
+        steps.append(DerivationStep("F3 transitivity", (current, refl), final))
+    return steps

@@ -1,0 +1,197 @@
+"""Closures and syntactic implication for attribute and functional dependencies.
+
+The appendix of the paper works with two closures of an attribute set ``X`` with
+respect to a set of dependencies:
+
+* ``X+func`` — the classical functional closure, computed with the FD rules
+  (F1) reflexivity, (F2) augmentation, (F3) transitivity;
+* ``X+attr`` — the attribute closure: all attributes ``A`` such that
+  ``X --attr--> A`` is derivable.
+
+Because transitivity is *not* valid for ADs, the attribute closure does not iterate:
+under the pure system Å it is ``X ∪ ⋃ { W | (V --attr--> W) ∈ Σ, V ⊆ X }``; under
+the combined system Å* the subsumption rule (AF1) and the combined transitivity rule
+(AF2) extend it to
+``X+func ∪ ⋃ { W | (V --attr--> W) ∈ Σ, V ⊆ X+func }``.
+(The paper notes ``X+attr ⊇ X+func``.)
+
+Syntactic implication is then a subset test against the appropriate closure:
+
+* ``Σ ⊢ X --func--> Y``  iff  ``Y ⊆ X+func``,
+* ``Σ ⊢ X --attr--> Y``  iff  ``Y ⊆ X+attr``.
+
+These closure-based tests are the fast path; :mod:`repro.core.axioms` provides the
+rule-by-rule derivation engine that produces proof traces and supports dropping
+rules (for the non-redundancy experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.core.dependencies import (
+    AttributeDependency,
+    Dependency,
+    ExplicitAttributeDependency,
+    FunctionalDependency,
+)
+from repro.errors import DependencyError
+from repro.model.attributes import AttributeSet, attrset
+
+
+def split_dependencies(dependencies: Iterable[Dependency]) -> Tuple[List[FunctionalDependency], List[AttributeDependency]]:
+    """Separate a mixed dependency set into (FDs, ADs).
+
+    Explicit ADs contribute their abbreviated form ``X --attr--> Y``; unknown
+    dependency kinds are rejected.
+    """
+    fds: List[FunctionalDependency] = []
+    ads: List[AttributeDependency] = []
+    for dependency in dependencies:
+        if isinstance(dependency, FunctionalDependency):
+            fds.append(dependency)
+        elif isinstance(dependency, ExplicitAttributeDependency):
+            ads.append(dependency.to_ad())
+        elif isinstance(dependency, AttributeDependency):
+            ads.append(dependency)
+        else:
+            raise DependencyError("unknown dependency kind: {!r}".format(dependency))
+    return fds, ads
+
+
+def functional_closure(attributes, dependencies: Iterable[Dependency]) -> AttributeSet:
+    """``X+func`` — the classical FD closure of ``attributes``.
+
+    Only the functional dependencies of ``dependencies`` participate; attribute
+    dependencies never contribute to the functional closure (there is no rule that
+    turns an AD into an FD).
+    """
+    fds, _ = split_dependencies(dependencies)
+    closure = attrset(attributes)
+    changed = True
+    while changed:
+        changed = False
+        for dependency in fds:
+            if dependency.lhs.issubset(closure) and not dependency.rhs.issubset(closure):
+                closure = closure | dependency.rhs
+                changed = True
+    return closure
+
+
+def attribute_closure(
+    attributes,
+    dependencies: Iterable[Dependency],
+    combined: bool = True,
+) -> AttributeSet:
+    """``X+attr`` — all attributes ``A`` with ``Σ ⊢ X --attr--> A``.
+
+    With ``combined=True`` the closure is taken under the extended system Å*
+    (FDs feed the determining side through combined transitivity); with
+    ``combined=False`` only the pure AD system Å is used and FDs in ``dependencies``
+    are ignored entirely.
+    """
+    fds, ads = split_dependencies(dependencies)
+    base = attrset(attributes)
+    determining = functional_closure(base, fds) if combined else base
+    closure = determining if combined else base
+    for dependency in ads:
+        if dependency.lhs.issubset(determining):
+            closure = closure | dependency.rhs
+    return closure
+
+
+def implies(dependencies: Iterable[Dependency], candidate: Dependency, combined: bool = True) -> bool:
+    """Syntactic implication ``Σ ⊢ candidate`` decided via closures.
+
+    ``candidate`` may be a functional dependency, an attribute dependency, or an
+    explicit attribute dependency (which is weakened to its abbreviated form — the
+    axiom systems of the paper only derive the abbreviated form).
+    """
+    dependencies = list(dependencies)
+    if isinstance(candidate, FunctionalDependency):
+        if not combined:
+            raise DependencyError(
+                "the pure AD system Å cannot derive functional dependencies"
+            )
+        return candidate.rhs.issubset(functional_closure(candidate.lhs, dependencies))
+    if isinstance(candidate, ExplicitAttributeDependency):
+        candidate = candidate.to_ad()
+    if isinstance(candidate, AttributeDependency):
+        return candidate.rhs.issubset(
+            attribute_closure(candidate.lhs, dependencies, combined=combined)
+        )
+    raise DependencyError("unknown dependency kind: {!r}".format(candidate))
+
+
+def implies_all(dependencies: Iterable[Dependency], candidates: Iterable[Dependency],
+                combined: bool = True) -> bool:
+    """``True`` when every candidate is syntactically implied."""
+    dependencies = list(dependencies)
+    return all(implies(dependencies, candidate, combined=combined) for candidate in candidates)
+
+
+def equivalent(first: Iterable[Dependency], second: Iterable[Dependency], combined: bool = True) -> bool:
+    """Two dependency sets are equivalent when each implies the other."""
+    first = list(first)
+    second = list(second)
+    return implies_all(first, second, combined=combined) and implies_all(second, first, combined=combined)
+
+
+def is_redundant(dependency: Dependency, dependencies: Iterable[Dependency], combined: bool = True) -> bool:
+    """``True`` when ``dependency`` is already implied by the *other* dependencies."""
+    rest = [d for d in dependencies if d is not dependency and d != dependency]
+    try:
+        return implies(rest, dependency, combined=combined)
+    except DependencyError:
+        return False
+
+
+def minimal_cover(dependencies: Sequence[Dependency], combined: bool = True) -> List[Dependency]:
+    """A non-redundant subset of ``dependencies`` equivalent to the whole set.
+
+    The reduction mirrors the classical FD minimal-cover construction restricted to
+    whole-dependency removal (right-hand-side splitting is unnecessary because the
+    closure tests already operate attribute-wise).  The result depends on iteration
+    order only in the presence of mutually derivable dependencies.
+    """
+    cover: List[Dependency] = list(dependencies)
+    changed = True
+    while changed:
+        changed = False
+        for dependency in list(cover):
+            rest = [d for d in cover if d is not dependency]
+            try:
+                redundant = implies(rest, dependency, combined=combined)
+            except DependencyError:
+                redundant = False
+            if redundant:
+                cover = rest
+                changed = True
+                break
+    return cover
+
+
+def nontrivial_consequences(
+    dependencies: Iterable[Dependency],
+    universe,
+    combined: bool = True,
+    max_lhs: int = 3,
+) -> Set[AttributeDependency]:
+    """Enumerate non-trivial derivable ADs over subsets of ``universe``.
+
+    Intended for small universes (tests and the axiom benchmarks): for every ``X``
+    of size at most ``max_lhs`` the attribute closure yields the maximal derivable
+    right-hand side; all single-attribute consequences are reported.
+    """
+    from itertools import combinations
+
+    dependencies = list(dependencies)
+    universe = list(attrset(universe))
+    found: Set[AttributeDependency] = set()
+    for size in range(1, max_lhs + 1):
+        for combo in combinations(universe, size):
+            lhs = AttributeSet(combo)
+            closure = attribute_closure(lhs, dependencies, combined=combined)
+            for attribute in closure - lhs:
+                found.add(AttributeDependency(lhs, AttributeSet(attribute)))
+    return found

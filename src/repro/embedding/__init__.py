@@ -1,0 +1,30 @@
+"""Programming-language embedding of flexible relations (Sections 3.3 and 4.2).
+
+A flexible scheme whose existential attribute relationships are all accompanied by
+attribute dependencies can be translated into a programming-language type — the
+paper's example is PASCAL's variant record.  Two practical obstacles are handled
+here exactly as the paper suggests:
+
+* PASCAL allows only a *single* attribute as the determinant of a variant record;
+  a dependency ``X --attr--> Y`` with ``|X| > 1`` is replaced by an artificial
+  attribute ``A``, the AD ``A --attr--> Y`` and the FD ``X --func--> A``.  The
+  validity of the replacement is justified by the combined transitivity rule (AF2)
+  and is re-derived (with a proof trace) by the translator.
+* An existential relationship without any AD gets an artificial AD with an
+  artificial determining attribute.
+"""
+
+from repro.embedding.variant_records import VariantCase, VariantRecordType
+from repro.embedding.translator import (
+    ArtificialDeterminant,
+    TranslationResult,
+    translate_scheme,
+)
+
+__all__ = [
+    "VariantCase",
+    "VariantRecordType",
+    "ArtificialDeterminant",
+    "TranslationResult",
+    "translate_scheme",
+]

@@ -1,0 +1,190 @@
+"""Incremental constraint enforcement for DML.
+
+The checks performed when a tuple enters (or changes in) a table:
+
+1. **scheme admission** — the tuple's attribute combination must be in the DNF of
+   the table's flexible scheme (decided lazily, without unfolding);
+2. **domain conformance** — every value must lie in its declared domain;
+3. **key** — the tuple must carry the key attributes and no stored tuple may share
+   its key value;
+4. **explicit attribute dependencies** — a per-tuple check: the variant selected by
+   the tuple's determinant values dictates exactly which dependent attributes the
+   tuple must carry (Definition 2.1);
+5. **abbreviated attribute dependencies and functional dependencies** — two-tuple
+   constraints, checked incrementally against the stored tuples that agree on the
+   determinant (served by a hash index on the determinant).
+
+Every violation raises a subclass of :class:`~repro.errors.ConstraintViolation` (or
+:class:`~repro.errors.TypeCheckError` for levels 1–2) naming the offending
+constraint, so callers can distinguish type errors from integrity errors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.dependencies import (
+    AttributeDependency,
+    Dependency,
+    ExplicitAttributeDependency,
+    FunctionalDependency,
+)
+from repro.engine.catalog import TableDefinition
+from repro.engine.indexes import HashIndex
+from repro.errors import ConstraintViolation, DependencyViolation, KeyViolation, TypeCheckError
+from repro.model.attributes import AttributeSet
+from repro.model.tuples import FlexTuple
+
+
+class KeyConstraint:
+    """A primary-key constraint: presence of the key attributes plus uniqueness."""
+
+    def __init__(self, attributes: AttributeSet):
+        self.attributes = attributes
+
+    def check(self, tup: FlexTuple, index: HashIndex, ignore: Optional[FlexTuple] = None) -> None:
+        if not tup.is_defined_on(self.attributes):
+            raise KeyViolation(
+                "tuple lacks key attribute(s) {}".format(self.attributes - tup.attributes)
+            )
+        existing = index.lookup(tup)
+        existing.discard(tup)
+        if ignore is not None:
+            existing.discard(ignore)
+        if existing:
+            raise KeyViolation(
+                "key value {} already present".format(tuple(tup[a] for a in self.attributes))
+            )
+
+    def __repr__(self) -> str:
+        return "KeyConstraint({})".format(self.attributes)
+
+
+class ConstraintChecker:
+    """Bundles the constraint logic for one table definition.
+
+    The checker owns the dependency indexes (one per determinant) but not the data;
+    the table calls :meth:`register_tuple` / :meth:`unregister_tuple` to keep them in
+    sync and :meth:`check_insert` / :meth:`check_update` before mutating its tuple
+    set.  The ``check_scheme`` / ``check_domains`` / ``check_dependencies`` switches
+    allow the benchmarks to measure each level separately.
+    """
+
+    def __init__(
+        self,
+        definition: TableDefinition,
+        check_scheme: bool = True,
+        check_domains: bool = True,
+        check_dependencies: bool = True,
+    ):
+        self.definition = definition
+        self.check_scheme = check_scheme
+        self.check_domains = check_domains
+        self.check_dependencies = check_dependencies
+        self.key_constraint = (
+            KeyConstraint(definition.key) if definition.key is not None else None
+        )
+        self.key_index = HashIndex(definition.key) if definition.key is not None else None
+        self._dependency_indexes: Dict[AttributeSet, HashIndex] = {}
+        if check_dependencies:
+            for dependency in definition.dependencies:
+                if isinstance(dependency, (AttributeDependency, FunctionalDependency)) \
+                        and not isinstance(dependency, ExplicitAttributeDependency):
+                    self._dependency_indexes.setdefault(dependency.lhs, HashIndex(dependency.lhs))
+
+    # -- index maintenance -------------------------------------------------------------------
+
+    def register_tuple(self, tup: FlexTuple) -> None:
+        """Add a stored tuple to the key and dependency indexes."""
+        if self.key_index is not None:
+            self.key_index.add(tup)
+        for index in self._dependency_indexes.values():
+            index.add(tup)
+
+    def unregister_tuple(self, tup: FlexTuple) -> None:
+        """Remove a stored tuple from the key and dependency indexes."""
+        if self.key_index is not None:
+            self.key_index.remove(tup)
+        for index in self._dependency_indexes.values():
+            index.remove(tup)
+
+    # -- checks --------------------------------------------------------------------------------
+
+    def check_shape(self, tup: FlexTuple) -> None:
+        """Levels 1–2: scheme admission and domain conformance."""
+        if self.check_scheme and not self.definition.scheme.admits(tup.attributes):
+            raise TypeCheckError(
+                "attribute combination {} is not admitted by the scheme of table {!r}".format(
+                    tup.attributes, self.definition.name
+                )
+            )
+        if self.check_domains:
+            for name, value in tup.items():
+                domain = self.definition.domains.get(name)
+                if domain is not None and not domain.contains(value):
+                    raise TypeCheckError(
+                        "value {!r} of attribute {!r} violates its domain in table {!r}".format(
+                            value, name, self.definition.name
+                        )
+                    )
+
+    def check_insert(self, tup: FlexTuple, ignore: Optional[FlexTuple] = None) -> None:
+        """All levels for an incoming tuple.
+
+        ``ignore`` names a stored tuple that is about to be replaced (updates): it is
+        excluded from the uniqueness and pair-wise dependency comparisons.
+        """
+        self.check_shape(tup)
+        if self.key_constraint is not None:
+            self.key_constraint.check(tup, self.key_index, ignore=ignore)
+        if not self.check_dependencies:
+            return
+        for dependency in self.definition.dependencies:
+            if isinstance(dependency, ExplicitAttributeDependency):
+                if not dependency.check_tuple(tup):
+                    raise DependencyViolation(
+                        dependency,
+                        "tuple {!r} violates {!r}: with {} = {!r} exactly the attributes {} "
+                        "must be present, found {}".format(
+                            tup, dependency, dependency.lhs,
+                            tup.project_existing(dependency.lhs),
+                            dependency.required_attributes(tup),
+                            tup.attributes & dependency.rhs,
+                        ),
+                        offending=tup,
+                    )
+            else:
+                self._check_pairwise(dependency, tup, ignore=ignore)
+
+    def _check_pairwise(self, dependency: Dependency, tup: FlexTuple,
+                        ignore: Optional[FlexTuple] = None) -> None:
+        if not tup.is_defined_on(dependency.lhs):
+            return
+        index = self._dependency_indexes.get(dependency.lhs)
+        if index is None:
+            return
+        partners = index.lookup(tup)
+        partners.discard(tup)
+        if ignore is not None:
+            partners.discard(ignore)
+        for partner in partners:
+            if isinstance(dependency, FunctionalDependency):
+                ok = (
+                    partner.is_defined_on(dependency.rhs)
+                    and tup.is_defined_on(dependency.rhs)
+                    and all(partner[a] == tup[a] for a in dependency.rhs)
+                )
+            else:
+                ok = (partner.attributes & dependency.rhs) == (tup.attributes & dependency.rhs)
+            if not ok:
+                raise DependencyViolation(
+                    dependency,
+                    "tuple {!r} conflicts with stored tuple {!r} on {!r}".format(
+                        tup, partner, dependency
+                    ),
+                    offending=(partner, tup),
+                )
+
+    def check_update(self, old: FlexTuple, new: FlexTuple) -> None:
+        """Check a replacement tuple, ignoring the tuple it replaces."""
+        self.check_insert(new, ignore=old)

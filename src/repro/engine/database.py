@@ -1,0 +1,299 @@
+"""Tables and the database facade.
+
+:class:`Table` stores the tuples of one flexible relation and enforces its
+definition's constraints on every insert, update and delete.  :class:`Database`
+bundles a :class:`~repro.engine.catalog.Catalog` with its tables and is the object
+the algebra evaluator and the optimizer talk to: it resolves relation names, exposes
+declared dependencies, and runs (optionally optimized) queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.evaluator import EvaluationResult, Evaluator
+from repro.algebra.expressions import Expression
+from repro.core.dependencies import Dependency
+from repro.engine.catalog import Catalog, TableDefinition
+from repro.engine.constraints import ConstraintChecker
+from repro.errors import CatalogError, ConstraintViolation
+from repro.model.attributes import AttributeSet
+from repro.model.domains import Domain
+from repro.model.relation import FlexibleRelation
+from repro.model.scheme import FlexibleScheme
+from repro.model.tuples import FlexTuple
+from repro.optimizer.planner import Planner
+from repro.optimizer.rewrite_rules import RewriteReport
+
+
+class Table:
+    """The stored instance of one table definition, with constraint enforcement."""
+
+    def __init__(self, definition: TableDefinition, enforce: bool = True):
+        self.definition = definition
+        self.checker = ConstraintChecker(
+            definition,
+            check_scheme=enforce,
+            check_domains=enforce,
+            check_dependencies=enforce,
+        )
+        self._tuples: Set[FlexTuple] = set()
+
+    # -- read access -----------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def tuples(self) -> Set[FlexTuple]:
+        """A copy of the stored tuples."""
+        return set(self._tuples)
+
+    def __iter__(self):
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, item) -> bool:
+        return _as_tuple(item) in self._tuples
+
+    def as_relation(self) -> FlexibleRelation:
+        """A :class:`FlexibleRelation` snapshot of the table."""
+        relation = FlexibleRelation(
+            self.definition.scheme,
+            domains=self.definition.domains,
+            name=self.definition.name,
+            validate=False,
+        )
+        for tup in self._tuples:
+            relation.insert(tup)
+        return relation
+
+    # -- DML ---------------------------------------------------------------------------------
+
+    def insert(self, item) -> FlexTuple:
+        """Insert a tuple after running every constraint check."""
+        tup = _as_tuple(item)
+        if tup in self._tuples:
+            return tup
+        self.checker.check_insert(tup)
+        self._tuples.add(tup)
+        self.checker.register_tuple(tup)
+        return tup
+
+    def insert_many(self, items: Iterable) -> List[FlexTuple]:
+        """Insert several tuples, stopping at the first violation."""
+        return [self.insert(item) for item in items]
+
+    def delete(self, item) -> bool:
+        """Delete a tuple; returns whether it was stored."""
+        tup = _as_tuple(item)
+        if tup not in self._tuples:
+            return False
+        self._tuples.remove(tup)
+        self.checker.unregister_tuple(tup)
+        return True
+
+    def delete_where(self, predicate) -> int:
+        """Delete every tuple satisfying ``predicate`` (a callable); returns the count."""
+        victims = [tup for tup in self._tuples if predicate(tup)]
+        for tup in victims:
+            self.delete(tup)
+        return len(victims)
+
+    # -- snapshots (used by Database.transaction) -------------------------------------------------
+
+    def snapshot(self) -> Set[FlexTuple]:
+        """An opaque snapshot of the table's current contents."""
+        return set(self._tuples)
+
+    def restore(self, snapshot: Set[FlexTuple]) -> None:
+        """Reset the table to a snapshot taken earlier (indexes are rebuilt)."""
+        self._tuples = set(snapshot)
+        self.checker = ConstraintChecker(
+            self.definition,
+            check_scheme=self.checker.check_scheme,
+            check_domains=self.checker.check_domains,
+            check_dependencies=self.checker.check_dependencies,
+        )
+        for tup in self._tuples:
+            self.checker.register_tuple(tup)
+
+    def update(self, old, **changes) -> FlexTuple:
+        """Replace attribute values of a stored tuple.
+
+        The replacement is fully re-checked: as the paper notes, changing the value
+        of a determining attribute (e.g. the jobtype) causes a *type* change, so the
+        new tuple may require a different attribute combination and is rejected when
+        it does not conform.
+        """
+        old_tuple = _as_tuple(old)
+        if old_tuple not in self._tuples:
+            raise ConstraintViolation("tuple {!r} is not stored in table {!r}".format(old_tuple, self.name))
+        merged = old_tuple.as_dict()
+        for name, value in changes.items():
+            if value is REMOVE:
+                merged.pop(name, None)
+            else:
+                merged[name] = value
+        new_tuple = FlexTuple(merged)
+        self.checker.check_update(old_tuple, new_tuple)
+        self._tuples.remove(old_tuple)
+        self.checker.unregister_tuple(old_tuple)
+        self._tuples.add(new_tuple)
+        self.checker.register_tuple(new_tuple)
+        return new_tuple
+
+    def __repr__(self) -> str:
+        return "Table({!r}, {} tuples)".format(self.name, len(self._tuples))
+
+
+class _Remove:
+    """Sentinel marking an attribute for removal in :meth:`Table.update`."""
+
+    def __repr__(self) -> str:
+        return "REMOVE"
+
+
+#: pass ``attribute=REMOVE`` to :meth:`Table.update` to drop an attribute from a tuple
+REMOVE = _Remove()
+
+
+class Database:
+    """A catalog plus its stored tables; the facade used by examples and benchmarks."""
+
+    def __init__(self, enforce_constraints: bool = True):
+        self.catalog = Catalog()
+        self.enforce_constraints = enforce_constraints
+        self._tables: Dict[str, Table] = {}
+
+    # -- schema management ------------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        scheme: FlexibleScheme,
+        domains: Optional[Dict[str, Domain]] = None,
+        key=None,
+        dependencies: Optional[Sequence[Dependency]] = None,
+    ) -> Table:
+        """Register a definition and create its (empty) table."""
+        definition = TableDefinition(
+            name, scheme, domains=domains, key=key, dependencies=dependencies
+        )
+        self.catalog.register(definition)
+        table = Table(definition, enforce=self.enforce_constraints)
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and its definition."""
+        self.catalog.unregister(name)
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """The stored table registered under ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError("unknown table {!r}".format(name)) from None
+
+    # -- interfaces consumed by the algebra / optimizer ----------------------------------------------
+
+    def relation(self, name: str) -> Table:
+        """Alias of :meth:`table` (the evaluator's resolution hook)."""
+        return self.table(name)
+
+    def dependencies(self, name: str) -> List[Dependency]:
+        """Declared dependencies of a table (the optimizer's resolution hook)."""
+        return self.catalog.dependencies(name)
+
+    def tables(self) -> List[str]:
+        return self.catalog.names()
+
+    # -- DML convenience --------------------------------------------------------------------------------
+
+    def insert(self, name: str, item) -> FlexTuple:
+        return self.table(name).insert(item)
+
+    def insert_many(self, name: str, items: Iterable) -> List[FlexTuple]:
+        return self.table(name).insert_many(items)
+
+    # -- queries ------------------------------------------------------------------------------------------
+
+    def execute(self, expression: Expression, optimize: bool = False) -> EvaluationResult:
+        """Evaluate an algebra expression against the stored tables."""
+        result, _report = self.execute_with_report(expression, optimize=optimize)
+        return result
+
+    def execute_with_report(self, expression: Expression,
+                            optimize: bool = True) -> Tuple[EvaluationResult, RewriteReport]:
+        """Evaluate an expression and also return the optimizer's rewrite report."""
+        report = RewriteReport()
+        if optimize:
+            planner = Planner(catalog=self)
+            expression, report = planner.optimize(expression)
+        evaluator = Evaluator(self)
+        return evaluator.evaluate(expression), report
+
+    def query(self, text: str, optimize: bool = True) -> EvaluationResult:
+        """Parse and evaluate a textual query (see :mod:`repro.query`).
+
+        ``db.query("SELECT name FROM employees WHERE jobtype = 'secretary'")``
+        """
+        from repro.query import parse_query
+
+        return self.execute(parse_query(text), optimize=optimize)
+
+    # -- transactions ----------------------------------------------------------------------------------
+
+    def transaction(self) -> "_Transaction":
+        """An all-or-nothing scope over every table of the database.
+
+        ::
+
+            with db.transaction():
+                db.insert("employees", {...})
+                db.insert("employees", {...})   # a violation here rolls both back
+
+        On normal exit the changes stay; when the block raises, every table is
+        restored to its state at entry and the exception propagates.
+        """
+        return _Transaction(self)
+
+    def __repr__(self) -> str:
+        return "Database(tables={})".format(
+            {name: len(self._tables[name]) for name in self.catalog.names()}
+        )
+
+
+class _Transaction:
+    """Context manager implementing :meth:`Database.transaction`.
+
+    The snapshot covers table *contents*; schema changes (``create_table`` /
+    ``drop_table``) inside a transaction are intentionally not undone — they are DDL,
+    and the paper's constraints concern the instance level.
+    """
+
+    def __init__(self, database: "Database"):
+        self._database = database
+        self._snapshots: Dict[str, Set[FlexTuple]] = {}
+
+    def __enter__(self) -> "Database":
+        self._snapshots = {
+            name: self._database.table(name).snapshot() for name in self._database.tables()
+        }
+        return self._database
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        if exc_type is not None:
+            for name, snapshot in self._snapshots.items():
+                if name in self._database.catalog:
+                    self._database.table(name).restore(snapshot)
+        return False
+
+
+def _as_tuple(item) -> FlexTuple:
+    return item if isinstance(item, FlexTuple) else FlexTuple(item)

@@ -1,0 +1,87 @@
+"""Hash indexes over heterogeneous tuples.
+
+An index over an attribute set ``X`` maps the ``X``-projection of a tuple to the set
+of stored tuples with that projection.  Tuples that are not defined on all of ``X``
+are simply not indexed — which matches the semantics of the dependency definitions,
+where only tuples defined on the determinant participate in the constraint.
+
+The engine keeps one index per declared key and per dependency determinant so that
+inserting a tuple only has to compare it against the tuples agreeing on the
+determinant instead of the whole relation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.model.attributes import AttributeSet, attrset
+from repro.model.tuples import FlexTuple
+
+
+class HashIndex:
+    """A hash index on a fixed attribute set."""
+
+    def __init__(self, attributes):
+        self.attributes = attrset(attributes)
+        self._buckets: Dict[Tuple, Set[FlexTuple]] = defaultdict(set)
+        self._indexed = 0
+
+    def key_of(self, tup: FlexTuple) -> Optional[Tuple]:
+        """The index key of a tuple, or ``None`` when the tuple lacks an indexed attribute."""
+        if not tup.is_defined_on(self.attributes):
+            return None
+        return tuple(tup[a] for a in self.attributes)
+
+    def add(self, tup: FlexTuple) -> None:
+        """Index a tuple (no-op for tuples not defined on the indexed attributes)."""
+        key = self.key_of(tup)
+        if key is not None:
+            bucket = self._buckets[key]
+            if tup not in bucket:
+                bucket.add(tup)
+                self._indexed += 1
+
+    def remove(self, tup: FlexTuple) -> None:
+        """Remove a tuple from the index (no-op when it was never indexed)."""
+        key = self.key_of(tup)
+        if key is None:
+            return
+        bucket = self._buckets.get(key)
+        if bucket and tup in bucket:
+            bucket.remove(tup)
+            self._indexed -= 1
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, probe) -> Set[FlexTuple]:
+        """Tuples whose indexed projection equals the probe's.
+
+        ``probe`` may be a tuple of values (in sorted attribute order), a mapping, or
+        a :class:`FlexTuple`.  An empty set is returned when the probe does not bind
+        every indexed attribute.
+        """
+        if isinstance(probe, tuple):
+            key = probe
+        else:
+            tup = probe if isinstance(probe, FlexTuple) else FlexTuple(probe)
+            key = self.key_of(tup)
+            if key is None:
+                return set()
+        return set(self._buckets.get(key, ()))
+
+    def groups(self) -> Iterable[Tuple[Tuple, Set[FlexTuple]]]:
+        """Iterate over ``(key, tuples)`` buckets."""
+        return self._buckets.items()
+
+    def __len__(self) -> int:
+        return self._indexed
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._indexed = 0
+
+    def __repr__(self) -> str:
+        return "HashIndex(on={}, buckets={}, tuples={})".format(
+            self.attributes, len(self._buckets), self._indexed
+        )

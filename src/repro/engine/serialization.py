@@ -1,0 +1,240 @@
+"""Serialization of schemas, dependencies and whole databases to and from JSON.
+
+A database — catalog (schemes, domains, keys, dependencies) plus the stored tuples —
+can be written to a JSON document and read back, so designs and datasets can be
+shipped, versioned, and loaded by the examples and benchmarks without re-running the
+generators.  Only JSON-representable attribute values (numbers, strings, booleans,
+``None``) are supported; this covers every workload in the repository.
+
+Public entry points:
+
+* :func:`dump_database` / :func:`load_database` — file or file-like objects,
+* :func:`database_to_dict` / :func:`database_from_dict` — plain dictionaries,
+* the per-object converters (``scheme_to_dict``, ``dependency_to_dict``, ...) for
+  callers that only need a piece.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.core.dependencies import (
+    AttributeDependency,
+    Dependency,
+    ExplicitAttributeDependency,
+    FunctionalDependency,
+    Variant,
+)
+from repro.engine.database import Database
+from repro.errors import ReproError
+from repro.model.attributes import Attribute
+from repro.model.domains import (
+    AnyDomain,
+    BoolDomain,
+    Domain,
+    EnumDomain,
+    FloatDomain,
+    IntDomain,
+    RangeDomain,
+    StringDomain,
+)
+from repro.model.scheme import FlexibleScheme, UnfoldedScheme
+
+#: bumped when the JSON layout changes incompatibly
+FORMAT_VERSION = 1
+
+
+class SerializationError(ReproError):
+    """Raised when a document cannot be serialized or deserialized."""
+
+
+# -- schemes ------------------------------------------------------------------------------------
+
+
+def scheme_to_dict(scheme: FlexibleScheme) -> dict:
+    """Convert a flexible scheme (or unfolded scheme) to a JSON-ready dictionary."""
+    if isinstance(scheme, UnfoldedScheme):
+        return {
+            "kind": "unfolded",
+            "combinations": sorted(sorted(a.name for a in combo) for combo in scheme.dnf()),
+        }
+    components = []
+    for component in scheme.components:
+        if isinstance(component, Attribute):
+            components.append({"kind": "attribute", "name": component.name})
+        else:
+            components.append(scheme_to_dict(component))
+    return {
+        "kind": "scheme",
+        "at_least": scheme.at_least,
+        "at_most": scheme.at_most,
+        "components": components,
+    }
+
+
+def scheme_from_dict(data: dict) -> FlexibleScheme:
+    """Rebuild a flexible scheme from :func:`scheme_to_dict` output."""
+    kind = data.get("kind")
+    if kind == "unfolded":
+        combos = {frozenset(Attribute(name) for name in combo) for combo in data["combinations"]}
+        return UnfoldedScheme(combos)
+    if kind != "scheme":
+        raise SerializationError("not a scheme document: {!r}".format(kind))
+    components = []
+    for component in data["components"]:
+        if component.get("kind") == "attribute":
+            components.append(component["name"])
+        else:
+            components.append(scheme_from_dict(component))
+    return FlexibleScheme(data["at_least"], data["at_most"], components)
+
+
+# -- domains -------------------------------------------------------------------------------------
+
+
+def domain_to_dict(domain: Domain) -> dict:
+    """Convert a domain to a JSON-ready dictionary."""
+    if isinstance(domain, EnumDomain):
+        return {"kind": "enum", "values": list(domain.values()), "name": domain.name}
+    if isinstance(domain, RangeDomain):
+        return {"kind": "range", "low": domain.low, "high": domain.high,
+                "integral": domain.integral, "name": domain.name}
+    if isinstance(domain, StringDomain):
+        return {"kind": "string", "max_length": domain.max_length}
+    if isinstance(domain, IntDomain):
+        return {"kind": "int"}
+    if isinstance(domain, FloatDomain):
+        return {"kind": "float"}
+    if isinstance(domain, BoolDomain):
+        return {"kind": "bool"}
+    if isinstance(domain, AnyDomain):
+        return {"kind": "any"}
+    raise SerializationError("cannot serialize domain {!r}".format(domain))
+
+
+def domain_from_dict(data: dict) -> Domain:
+    """Rebuild a domain from :func:`domain_to_dict` output."""
+    kind = data.get("kind")
+    if kind == "enum":
+        return EnumDomain(data["values"], name=data.get("name", "enum"))
+    if kind == "range":
+        return RangeDomain(data["low"], data["high"], integral=data.get("integral", False),
+                           name=data.get("name", "range"))
+    if kind == "string":
+        return StringDomain(max_length=data.get("max_length"))
+    if kind == "int":
+        return IntDomain()
+    if kind == "float":
+        return FloatDomain()
+    if kind == "bool":
+        return BoolDomain()
+    if kind == "any":
+        return AnyDomain()
+    raise SerializationError("unknown domain kind {!r}".format(kind))
+
+
+# -- dependencies -----------------------------------------------------------------------------------
+
+
+def dependency_to_dict(dependency: Dependency) -> dict:
+    """Convert an AD / FD / explicit AD to a JSON-ready dictionary."""
+    if isinstance(dependency, ExplicitAttributeDependency):
+        return {
+            "kind": "explicit-ad",
+            "lhs": list(dependency.lhs.names),
+            "rhs": list(dependency.rhs.names),
+            "variants": [
+                {
+                    "name": variant.name,
+                    "attributes": list(variant.attributes.names),
+                    "values": [value.as_dict() for value in variant.values],
+                }
+                for variant in dependency.variants
+            ],
+        }
+    if isinstance(dependency, FunctionalDependency):
+        return {"kind": "fd", "lhs": list(dependency.lhs.names), "rhs": list(dependency.rhs.names)}
+    if isinstance(dependency, AttributeDependency):
+        return {"kind": "ad", "lhs": list(dependency.lhs.names), "rhs": list(dependency.rhs.names)}
+    raise SerializationError("cannot serialize dependency {!r}".format(dependency))
+
+
+def dependency_from_dict(data: dict) -> Dependency:
+    """Rebuild a dependency from :func:`dependency_to_dict` output."""
+    kind = data.get("kind")
+    if kind == "explicit-ad":
+        variants = [
+            Variant(entry["values"], entry["attributes"], name=entry.get("name"))
+            for entry in data["variants"]
+        ]
+        return ExplicitAttributeDependency(data["lhs"], data["rhs"], variants)
+    if kind == "fd":
+        return FunctionalDependency(data["lhs"], data["rhs"])
+    if kind == "ad":
+        return AttributeDependency(data["lhs"], data["rhs"])
+    raise SerializationError("unknown dependency kind {!r}".format(kind))
+
+
+# -- whole databases -----------------------------------------------------------------------------------
+
+
+def database_to_dict(database: Database, include_data: bool = True) -> dict:
+    """Convert a database (catalog and, optionally, the stored tuples) to a dictionary."""
+    tables = []
+    for name in database.tables():
+        definition = database.catalog.definition(name)
+        entry = {
+            "name": name,
+            "scheme": scheme_to_dict(definition.scheme),
+            "domains": {attr: domain_to_dict(domain) for attr, domain in definition.domains.items()},
+            "key": list(definition.key.names) if definition.key is not None else None,
+            "dependencies": [dependency_to_dict(d) for d in definition.dependencies],
+        }
+        if include_data:
+            entry["tuples"] = sorted(
+                (t.as_dict() for t in database.table(name).tuples),
+                key=lambda item: sorted(item.items(), key=lambda pair: (pair[0], repr(pair[1]))),
+            )
+        tables.append(entry)
+    return {"format_version": FORMAT_VERSION, "tables": tables}
+
+
+def database_from_dict(data: dict, enforce_constraints: bool = True) -> Database:
+    """Rebuild a database from :func:`database_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SerializationError("unsupported format version {!r}".format(version))
+    database = Database(enforce_constraints=enforce_constraints)
+    for entry in data.get("tables", []):
+        table = database.create_table(
+            entry["name"],
+            scheme_from_dict(entry["scheme"]),
+            domains={attr: domain_from_dict(d) for attr, d in entry.get("domains", {}).items()},
+            key=entry.get("key"),
+            dependencies=[dependency_from_dict(d) for d in entry.get("dependencies", [])],
+        )
+        for values in entry.get("tuples", []):
+            table.insert(values)
+    return database
+
+
+def dump_database(database: Database, file, include_data: bool = True, indent: int = 2) -> None:
+    """Write a database to an open text file (or any object with ``write``)."""
+    json.dump(database_to_dict(database, include_data=include_data), file, indent=indent,
+              sort_keys=True)
+
+
+def dumps_database(database: Database, include_data: bool = True) -> str:
+    """Return the JSON document for a database as a string."""
+    return json.dumps(database_to_dict(database, include_data=include_data), sort_keys=True)
+
+
+def load_database(file, enforce_constraints: bool = True) -> Database:
+    """Read a database from an open text file (or any object with ``read``)."""
+    return database_from_dict(json.load(file), enforce_constraints=enforce_constraints)
+
+
+def loads_database(text: str, enforce_constraints: bool = True) -> Database:
+    """Read a database from a JSON string."""
+    return database_from_dict(json.loads(text), enforce_constraints=enforce_constraints)

@@ -1,0 +1,54 @@
+"""Enhanced entity-relationship layer.
+
+Section 3.1 of the paper maps *predicate-defined specializations* of enhanced-ER
+models one-to-one onto attribute dependencies: replace each subclass predicate by its
+extension ``V_i`` and the specialization becomes the explicit AD; disjointness of the
+subclasses corresponds to pairwise disjoint ``Y_i``, totality to ``∪ V_i = Tup(X)``.
+
+This package provides
+
+* the ER vocabulary (entity types, predicate-defined specializations) —
+  :mod:`repro.er.model`;
+* the mapping onto flexible relations + dependencies and the classical relational
+  translation methods it replaces — :mod:`repro.er.mapping`;
+* horizontal / vertical decomposition along an attribute dependency with the outer
+  union / multiway join restorations — :mod:`repro.er.decomposition`.
+"""
+
+from repro.er.model import EntityType, SpecializationSubclass, Specialization
+from repro.er.mapping import (
+    FlexibleMapping,
+    specialization_to_dependency,
+    specialization_to_flexible_relation,
+)
+from repro.er.decomposition import (
+    DecompositionResult,
+    horizontal_decomposition,
+    null_count,
+    vertical_decomposition,
+)
+from repro.er.advisor import (
+    DesignReport,
+    SpecializationAdvice,
+    advise,
+    dependency_preservation,
+    redundant_dependencies,
+)
+
+__all__ = [
+    "DesignReport",
+    "SpecializationAdvice",
+    "advise",
+    "dependency_preservation",
+    "redundant_dependencies",
+    "EntityType",
+    "SpecializationSubclass",
+    "Specialization",
+    "FlexibleMapping",
+    "specialization_to_dependency",
+    "specialization_to_flexible_relation",
+    "DecompositionResult",
+    "horizontal_decomposition",
+    "vertical_decomposition",
+    "null_count",
+]

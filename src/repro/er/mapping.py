@@ -1,0 +1,93 @@
+"""Mapping predicate-defined specializations onto flexible relations + dependencies.
+
+The paper's claim (Section 3.1): replacing each subclass predicate by its extension
+``V_i`` turns a predicate-defined specialization into an explicit attribute
+dependency, one-to-one.  The mapping below produces
+
+* the flexible scheme — the entity's own attributes unconditioned, the union of the
+  subclass-local attributes as an optional nested component,
+* the explicit AD with one variant per subclass,
+* the combined domain map and key,
+
+packaged as a :class:`FlexibleMapping` that can be registered directly with the
+engine (:meth:`FlexibleMapping.create_table`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.dependencies import ExplicitAttributeDependency, Variant
+from repro.core.subtyping import SubtypeFamily, derive_subtype_family
+from repro.er.model import Specialization
+from repro.model.attributes import AttributeSet
+from repro.model.domains import Domain
+from repro.model.scheme import FlexibleScheme
+
+
+class FlexibleMapping:
+    """The result of mapping a specialization onto the model of flexible relations."""
+
+    def __init__(self, specialization: Specialization, scheme: FlexibleScheme,
+                 dependency: ExplicitAttributeDependency, domains: Dict[str, Domain],
+                 key: Optional[AttributeSet]):
+        self.specialization = specialization
+        self.scheme = scheme
+        self.dependency = dependency
+        self.domains = domains
+        self.key = key
+
+    def create_table(self, database, name: Optional[str] = None, extra_dependencies=()):
+        """Register the mapping as a table of a :class:`repro.engine.Database`."""
+        return database.create_table(
+            name or self.specialization.entity.name,
+            self.scheme,
+            domains=self.domains,
+            key=self.key,
+            dependencies=[self.dependency, *extra_dependencies],
+        )
+
+    def subtype_family(self) -> SubtypeFamily:
+        """The record-subtype family induced by the mapping (Section 3.2)."""
+        return derive_subtype_family(
+            self.scheme.attributes,
+            self.dependency,
+            domains=self.domains,
+            supertype_name=self.specialization.entity.name,
+        )
+
+    def __repr__(self) -> str:
+        return "FlexibleMapping({!r})".format(self.specialization.name)
+
+
+def specialization_to_dependency(specialization: Specialization) -> ExplicitAttributeDependency:
+    """The explicit attribute dependency equivalent to a predicate-defined specialization."""
+    variants = []
+    for subclass in specialization.subclasses:
+        variants.append(
+            Variant(subclass.predicate_values, subclass.local_attributes, name=subclass.name)
+        )
+    return ExplicitAttributeDependency(
+        specialization.determining_attributes,
+        specialization.variant_attributes,
+        variants,
+    )
+
+
+def specialization_to_flexible_relation(specialization: Specialization) -> FlexibleMapping:
+    """Map a specialization onto a flexible scheme plus its explicit AD."""
+    entity = specialization.entity
+    base_attributes = sorted(a.name for a in entity.attributes)
+    variant_attributes = sorted(a.name for a in specialization.variant_attributes)
+    components = list(base_attributes)
+    if variant_attributes:
+        components.append(FlexibleScheme(0, len(variant_attributes), variant_attributes))
+    scheme = FlexibleScheme(len(components), len(components), components)
+    dependency = specialization_to_dependency(specialization)
+    return FlexibleMapping(
+        specialization,
+        scheme,
+        dependency,
+        specialization.all_domains(),
+        entity.key,
+    )

@@ -1,0 +1,259 @@
+"""Typed domains for attributes.
+
+The relational model (and the model of flexible relations) maps attributes to values
+of given atomic domains.  Domains serve two purposes in this library:
+
+* *membership checking* during type checking and DML — ``domain.contains(value)``;
+* *enumeration / sampling* for the semantic-implication machinery, the workload
+  generators and the property tests — finite domains can list their values, infinite
+  domains can produce representative samples.
+
+The paper's examples rely on enumerated domains (``jobtype`` over
+``{'secretary', 'software engineer', 'salesman'}``), numeric domains (``salary``),
+and free string domains (names, products).  The subtype derivation of Section 3.2
+restricts the domain of the determining attributes in each subtype, which is what
+:meth:`Domain.restrict` models.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import DomainError, ReproError
+
+
+class Domain:
+    """Abstract base class of all domains.
+
+    Subclasses implement :meth:`contains`; finite domains additionally implement
+    :meth:`values` and report ``is_finite = True``.
+    """
+
+    #: human-readable name of the domain, used in reprs and error messages
+    name: str = "domain"
+    #: whether :meth:`values` enumerates the complete domain
+    is_finite: bool = False
+
+    def contains(self, value) -> bool:
+        """Return ``True`` when ``value`` belongs to the domain."""
+        raise NotImplementedError
+
+    def validate(self, value, attribute=None):
+        """Raise :class:`DomainError` when ``value`` is not in the domain."""
+        if not self.contains(value):
+            where = " for attribute {}".format(attribute) if attribute is not None else ""
+            raise DomainError(
+                "value {!r} is not in domain {}{}".format(value, self.name, where)
+            )
+        return value
+
+    def values(self) -> Iterator:
+        """Iterate over the values of a finite domain."""
+        raise NotImplementedError("{} is not enumerable".format(self.name))
+
+    def sample(self, count: int, rng) -> List:
+        """Return ``count`` representative values drawn with random generator ``rng``."""
+        if self.is_finite:
+            pool = list(self.values())
+            return [pool[rng.randrange(len(pool))] for _ in range(count)]
+        raise NotImplementedError("{} cannot be sampled".format(self.name))
+
+    def restrict(self, allowed: Iterable) -> "EnumDomain":
+        """Return the restriction of this domain to the given values.
+
+        Used when deriving subtypes from an attribute dependency: the subtype
+        restricts the domain of the determining attributes to the variant's value
+        set ``V_i`` (Section 3.2 of the paper).  Values outside the original domain
+        are rejected.
+        """
+        allowed = list(allowed)
+        for value in allowed:
+            if not self.contains(value):
+                raise DomainError(
+                    "cannot restrict {} to {!r}: value not in domain".format(self.name, value)
+                )
+        return EnumDomain(allowed, name="{}|restricted".format(self.name))
+
+    def __contains__(self, value) -> bool:
+        return self.contains(value)
+
+    def __repr__(self) -> str:
+        return "{}()".format(type(self).__name__)
+
+
+class AnyDomain(Domain):
+    """The unrestricted domain: every Python value is a member.
+
+    This is the default domain when an attribute is declared without one, matching
+    the paper's practice of leaving most attribute domains unspecified.
+    """
+
+    name = "any"
+
+    def contains(self, value) -> bool:
+        return True
+
+    def sample(self, count: int, rng) -> List:
+        return [rng.randrange(1_000_000) for _ in range(count)]
+
+
+class IntDomain(Domain):
+    """The domain of integers (bools excluded, mirroring SQL's separation)."""
+
+    name = "int"
+
+    def contains(self, value) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    def sample(self, count: int, rng) -> List:
+        return [rng.randrange(-10_000, 10_000) for _ in range(count)]
+
+
+class FloatDomain(Domain):
+    """The domain of real numbers (accepts ints and floats)."""
+
+    name = "float"
+
+    def contains(self, value) -> bool:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+    def sample(self, count: int, rng) -> List:
+        return [round(rng.uniform(-10_000.0, 10_000.0), 2) for _ in range(count)]
+
+
+class StringDomain(Domain):
+    """The domain of character strings, optionally bounded in length."""
+
+    name = "string"
+
+    def __init__(self, max_length: Optional[int] = None):
+        if max_length is not None and max_length < 0:
+            raise ReproError("max_length must be non-negative")
+        self.max_length = max_length
+
+    def contains(self, value) -> bool:
+        if not isinstance(value, str):
+            return False
+        if self.max_length is not None and len(value) > self.max_length:
+            return False
+        return True
+
+    def sample(self, count: int, rng) -> List:
+        alphabet = "abcdefghijklmnopqrstuvwxyz"
+        limit = self.max_length if self.max_length is not None else 8
+        limit = max(1, min(limit, 12))
+        result = []
+        for _ in range(count):
+            length = rng.randrange(1, limit + 1)
+            result.append("".join(alphabet[rng.randrange(26)] for _ in range(length)))
+        return result
+
+    def __repr__(self) -> str:
+        return "StringDomain(max_length={!r})".format(self.max_length)
+
+
+class BoolDomain(Domain):
+    """The two-valued boolean domain."""
+
+    name = "bool"
+    is_finite = True
+
+    def contains(self, value) -> bool:
+        return isinstance(value, bool)
+
+    def values(self) -> Iterator:
+        return iter((False, True))
+
+
+class EnumDomain(Domain):
+    """A finite, explicitly enumerated domain.
+
+    The workhorse of the paper's examples (``jobtype``, ``sex``, ``marital-status``).
+    Values keep their declaration order for deterministic display and sampling.
+    """
+
+    is_finite = True
+
+    def __init__(self, values: Sequence, name: str = "enum"):
+        values = list(values)
+        if not values:
+            raise ReproError("an enumerated domain needs at least one value")
+        seen = []
+        for value in values:
+            if value in seen:
+                raise ReproError("duplicate value {!r} in enumerated domain".format(value))
+            seen.append(value)
+        self._values = tuple(values)
+        self.name = name
+
+    def contains(self, value) -> bool:
+        return value in self._values
+
+    def values(self) -> Iterator:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return "EnumDomain({!r}, name={!r})".format(list(self._values), self.name)
+
+
+class RangeDomain(Domain):
+    """An inclusive numeric interval ``[low, high]``.
+
+    Useful for attributes such as ``salary`` or ``zip-code`` where workloads need a
+    bounded value space; the interval over the integers is finite and enumerable when
+    ``integral=True``.
+    """
+
+    def __init__(self, low, high, integral: bool = False, name: str = "range"):
+        if low > high:
+            raise ReproError("range domain requires low <= high")
+        self.low = low
+        self.high = high
+        self.integral = integral
+        self.name = name
+        self.is_finite = bool(integral)
+
+    def contains(self, value) -> bool:
+        if isinstance(value, bool):
+            return False
+        if self.integral and not isinstance(value, int):
+            return False
+        if not isinstance(value, (int, float)):
+            return False
+        return self.low <= value <= self.high
+
+    def values(self) -> Iterator:
+        if not self.integral:
+            raise NotImplementedError("non-integral range is not enumerable")
+        return iter(range(int(self.low), int(self.high) + 1))
+
+    def sample(self, count: int, rng) -> List:
+        if self.integral:
+            return [rng.randrange(int(self.low), int(self.high) + 1) for _ in range(count)]
+        return [round(rng.uniform(self.low, self.high), 2) for _ in range(count)]
+
+    def __repr__(self) -> str:
+        return "RangeDomain({!r}, {!r}, integral={!r})".format(self.low, self.high, self.integral)
+
+
+def cross_product(domains: Sequence[Domain], limit: Optional[int] = None) -> Iterator[tuple]:
+    """Iterate over tuples of the cartesian product of finite domains.
+
+    Used to enumerate ``Tup(X)`` for small determining attribute sets, e.g. when
+    checking whether an explicit attribute dependency is *total*
+    (``U Vi = Tup(X)``, Section 3.1).  ``limit`` caps the enumeration to guard
+    against combinatorial blow-up.
+    """
+    for domain in domains:
+        if not domain.is_finite:
+            raise DomainError(
+                "cannot enumerate Tup(X): domain {} is not finite".format(domain.name)
+            )
+    iterator = itertools.product(*(tuple(d.values()) for d in domains))
+    if limit is None:
+        return iterator
+    return itertools.islice(iterator, limit)

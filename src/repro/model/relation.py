@@ -1,0 +1,211 @@
+"""Flexible relations.
+
+A flexible relation ``FR = <FS, inst>`` pairs a flexible scheme with a finite set of
+tuples drawn from ``dom(FS)`` (Section 2.1).  The class below keeps the instance as
+an immutable-by-convention Python set of :class:`~repro.model.tuples.FlexTuple`
+objects, validates tuples against the scheme (and optional attribute domains) on
+insertion, and offers the satisfaction checks that the dependency machinery and the
+benchmarks build upon.
+
+Constraint *enforcement* with error reporting, keys, and indexes lives in
+:mod:`repro.engine`; this module is the bare mathematical object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.errors import TypeCheckError
+from repro.model.attributes import AttributeSet, attrset
+from repro.model.domains import Domain
+from repro.model.scheme import FlexibleScheme
+from repro.model.tuples import FlexTuple
+
+
+class FlexibleRelation:
+    """A flexible scheme together with an instance.
+
+    Parameters
+    ----------
+    scheme:
+        The flexible scheme the relation is defined over.
+    tuples:
+        Optional initial instance; each element may be a :class:`FlexTuple` or a
+        plain mapping.
+    domains:
+        Optional mapping from attribute name to :class:`~repro.model.domains.Domain`;
+        values are checked against it on insertion.
+    name:
+        Optional relation name used for display and by the catalog.
+    validate:
+        When ``False`` the scheme/domain checks on insertion are skipped.  This is
+        the switch used by the type-checking benchmarks to compare checked and
+        unchecked ingestion.
+    """
+
+    def __init__(
+        self,
+        scheme: FlexibleScheme,
+        tuples: Optional[Iterable] = None,
+        domains: Optional[Dict[str, Domain]] = None,
+        name: Optional[str] = None,
+        validate: bool = True,
+    ):
+        self._scheme = scheme
+        self._domains: Dict[str, Domain] = dict(domains or {})
+        self.name = name
+        self.validate = validate
+        self._tuples: Set[FlexTuple] = set()
+        if tuples is not None:
+            for item in tuples:
+                self.insert(item)
+
+    # -- accessors -------------------------------------------------------------------
+
+    @property
+    def scheme(self) -> FlexibleScheme:
+        """``scheme(FR)``."""
+        return self._scheme
+
+    @property
+    def tuples(self) -> Set[FlexTuple]:
+        """``inst(FR)`` — the current instance (a set of tuples)."""
+        return set(self._tuples)
+
+    @property
+    def domains(self) -> Dict[str, Domain]:
+        """Declared attribute domains (may be empty)."""
+        return dict(self._domains)
+
+    @property
+    def attributes(self) -> AttributeSet:
+        """All attributes mentioned in the scheme."""
+        return self._scheme.attributes
+
+    def __iter__(self) -> Iterator[FlexTuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, item) -> bool:
+        return _as_tuple(item) in self._tuples
+
+    # -- mutation ----------------------------------------------------------------------
+
+    def insert(self, item) -> FlexTuple:
+        """Insert a tuple after validating it against the scheme and the domains.
+
+        Returns the inserted :class:`FlexTuple`.  Raises
+        :class:`~repro.errors.TypeCheckError` when the tuple's attribute combination
+        is not admitted by the scheme, or a value is outside its declared domain.
+        """
+        tup = _as_tuple(item)
+        if self.validate:
+            self.check_tuple(tup)
+        self._tuples.add(tup)
+        return tup
+
+    def insert_many(self, items: Iterable) -> List[FlexTuple]:
+        """Insert several tuples; returns the inserted tuples in input order."""
+        return [self.insert(item) for item in items]
+
+    def delete(self, item) -> bool:
+        """Remove a tuple; returns ``True`` when it was present."""
+        tup = _as_tuple(item)
+        if tup in self._tuples:
+            self._tuples.remove(tup)
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Remove every tuple."""
+        self._tuples.clear()
+
+    # -- validation -------------------------------------------------------------------------
+
+    def check_tuple(self, tup: FlexTuple) -> FlexTuple:
+        """Validate a single tuple against the scheme and the attribute domains."""
+        if not self._scheme.admits(tup.attributes):
+            raise TypeCheckError(
+                "attribute combination {} is not admitted by scheme {!r}".format(
+                    tup.attributes, self._scheme
+                )
+            )
+        for name, value in tup.items():
+            domain = self._domains.get(name)
+            if domain is not None:
+                domain.validate(value, attribute=name)
+        return tup
+
+    def admits(self, item) -> bool:
+        """``True`` when the tuple's attribute combination is in ``dnf(scheme)``
+        and its values respect the declared domains."""
+        tup = _as_tuple(item)
+        try:
+            self.check_tuple(tup)
+        except TypeCheckError:
+            return False
+        return True
+
+    # -- dependency satisfaction ---------------------------------------------------------------
+
+    def satisfies(self, dependency) -> bool:
+        """``True`` when the instance satisfies the given dependency.
+
+        Any object with a ``holds_in(relation)`` method qualifies; this covers
+        attribute dependencies, explicit attribute dependencies and functional
+        dependencies from :mod:`repro.core`.
+        """
+        return bool(dependency.holds_in(self))
+
+    def satisfies_all(self, dependencies: Iterable) -> bool:
+        """``True`` when every dependency of the iterable holds in the instance."""
+        return all(self.satisfies(d) for d in dependencies)
+
+    def violations(self, dependencies: Iterable) -> List:
+        """Return the dependencies of the iterable that the instance violates."""
+        return [d for d in dependencies if not self.satisfies(d)]
+
+    # -- derivation --------------------------------------------------------------------------------
+
+    def copy(self, name: Optional[str] = None, validate: Optional[bool] = None) -> "FlexibleRelation":
+        """A shallow copy with the same scheme, domains and tuples."""
+        clone = FlexibleRelation(
+            self._scheme,
+            domains=self._domains,
+            name=self.name if name is None else name,
+            validate=self.validate if validate is None else validate,
+        )
+        clone._tuples = set(self._tuples)
+        return clone
+
+    def with_scheme(self, scheme: FlexibleScheme, tuples: Iterable, name: Optional[str] = None,
+                    domains: Optional[Dict[str, Domain]] = None) -> "FlexibleRelation":
+        """Build a new relation that inherits this relation's domains by default."""
+        return FlexibleRelation(
+            scheme,
+            tuples=tuples,
+            domains=self._domains if domains is None else domains,
+            name=name,
+            validate=False,
+        )
+
+    def attribute_combinations(self) -> Set[AttributeSet]:
+        """The set ``{ attr(t) | t ∈ inst(FR) }`` actually occurring in the instance."""
+        return {t.attributes for t in self._tuples}
+
+    def project_instance(self, attributes) -> Set[FlexTuple]:
+        """Project every tuple onto the attributes it possesses from ``X``."""
+        attributes = attrset(attributes)
+        return {t.project_existing(attributes) for t in self._tuples}
+
+    def __repr__(self) -> str:
+        label = self.name or "FlexibleRelation"
+        return "{}(scheme={!r}, tuples={})".format(label, self._scheme, len(self._tuples))
+
+
+def _as_tuple(item) -> FlexTuple:
+    if isinstance(item, FlexTuple):
+        return item
+    return FlexTuple(item)

@@ -1,0 +1,41 @@
+"""AD-driven query optimization.
+
+Section 3.1.2 of the paper lists two optimization opportunities opened up by
+attribute dependencies:
+
+* **redundant type guards** — a guard on attributes whose presence already follows
+  from earlier selections and the declared (explicit) attribute dependencies can be
+  dropped (Example 4);
+* **excluded variants** — a selection on the determining attributes rules variants
+  out, so joins / union branches that only contribute excluded variants can be
+  pruned (the extension of qualified-relation reasoning to structural variants).
+
+This package implements both as rewrite rules over the algebra of
+:mod:`repro.algebra`, a simple cost model, and a planner that applies the rules to a
+fixpoint and reports what it did.
+"""
+
+from repro.optimizer.analysis import guaranteed_present, guaranteed_absent
+from repro.optimizer.rewrite_rules import (
+    RewriteReport,
+    eliminate_contradictory_selections,
+    eliminate_redundant_guards,
+    prune_union_branches,
+)
+from repro.optimizer.qualified_relations import QualifiedRelation, qualification_excludes
+from repro.optimizer.cost import estimate_cost, measured_cost
+from repro.optimizer.planner import Planner
+
+__all__ = [
+    "guaranteed_present",
+    "guaranteed_absent",
+    "RewriteReport",
+    "eliminate_redundant_guards",
+    "eliminate_contradictory_selections",
+    "prune_union_branches",
+    "QualifiedRelation",
+    "qualification_excludes",
+    "estimate_cost",
+    "measured_cost",
+    "Planner",
+]

@@ -1,0 +1,123 @@
+"""Cost estimation and measurement for algebra expressions.
+
+Two notions of cost are used by the optimizer experiments:
+
+* :func:`estimate_cost` — a cheap static estimate based on base-relation
+  cardinalities and default selectivities.  The planner uses it to confirm that a
+  rewrite does not increase the estimated work.
+* :func:`measured_cost` — the exact work counters gathered by actually evaluating
+  the expression with :class:`repro.algebra.Evaluator`.  The benchmarks report this
+  machine-independent number alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.algebra.evaluator import Evaluator, ExecutionStats
+from repro.algebra.expressions import (
+    Difference,
+    EmptyRelation,
+    Expression,
+    Extension,
+    MultiwayJoin,
+    NaturalJoin,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    TypeGuardNode,
+    Union,
+)
+from repro.algebra.predicates import FalsePredicate
+from repro.errors import OptimizerError, ReproError
+
+#: default fraction of tuples surviving a selection when nothing better is known
+DEFAULT_SELECTIVITY = 0.5
+#: default fraction of tuples surviving a type guard
+DEFAULT_GUARD_SELECTIVITY = 0.8
+
+
+class CostEstimate:
+    """Estimated output cardinality and cumulative work of an expression."""
+
+    def __init__(self, cardinality: float, work: float):
+        self.cardinality = cardinality
+        self.work = work
+
+    def __repr__(self) -> str:
+        return "CostEstimate(cardinality={:.1f}, work={:.1f})".format(self.cardinality, self.work)
+
+
+def _base_cardinality(source, name: str) -> int:
+    if source is None:
+        return 0
+    if hasattr(source, "relation"):
+        try:
+            relation = source.relation(name)
+        except ReproError:
+            # An estimator should degrade gracefully on unknown names; the evaluator
+            # is the component that reports them as hard errors.
+            relation = None
+    elif isinstance(source, dict):
+        relation = source.get(name)
+    else:
+        relation = None
+    if relation is None:
+        return 0
+    try:
+        return len(relation)
+    except TypeError:
+        return 0
+
+
+def estimate_cost(expression: Expression, source=None) -> CostEstimate:
+    """Recursively estimate output cardinality and total work of an expression."""
+    if isinstance(expression, EmptyRelation):
+        return CostEstimate(0.0, 0.0)
+    if isinstance(expression, RelationRef):
+        cardinality = _base_cardinality(source, expression.name)
+        return CostEstimate(cardinality, cardinality)
+    if isinstance(expression, Selection):
+        child = estimate_cost(expression.child, source)
+        if isinstance(expression.predicate, FalsePredicate):
+            return CostEstimate(0.0, child.work)
+        return CostEstimate(child.cardinality * DEFAULT_SELECTIVITY, child.work + child.cardinality)
+    if isinstance(expression, TypeGuardNode):
+        child = estimate_cost(expression.child, source)
+        return CostEstimate(child.cardinality * DEFAULT_GUARD_SELECTIVITY,
+                            child.work + child.cardinality)
+    if isinstance(expression, (Projection, Extension, Rename)):
+        child = estimate_cost(expression.children[0], source)
+        return CostEstimate(child.cardinality, child.work + child.cardinality)
+    if isinstance(expression, (Product, NaturalJoin)):
+        left = estimate_cost(expression.children[0], source)
+        right = estimate_cost(expression.children[1], source)
+        pairs = left.cardinality * right.cardinality
+        cardinality = pairs if isinstance(expression, Product) else pairs * DEFAULT_SELECTIVITY
+        return CostEstimate(cardinality, left.work + right.work + pairs)
+    if isinstance(expression, MultiwayJoin):
+        estimates = [estimate_cost(child, source) for child in expression.children]
+        work = sum(e.work for e in estimates)
+        cardinality = estimates[0].cardinality
+        for estimate in estimates[1:]:
+            work += cardinality
+            cardinality = max(cardinality, estimate.cardinality)
+        return CostEstimate(cardinality, work)
+    if isinstance(expression, Union):
+        left = estimate_cost(expression.children[0], source)
+        right = estimate_cost(expression.children[1], source)
+        return CostEstimate(left.cardinality + right.cardinality,
+                            left.work + right.work + left.cardinality + right.cardinality)
+    if isinstance(expression, Difference):
+        left = estimate_cost(expression.children[0], source)
+        right = estimate_cost(expression.children[1], source)
+        return CostEstimate(left.cardinality, left.work + right.work + left.cardinality)
+    raise OptimizerError("cannot estimate cost of {!r}".format(expression))
+
+
+def measured_cost(expression: Expression, source) -> ExecutionStats:
+    """Evaluate the expression and return the exact work counters."""
+    evaluator = Evaluator(source)
+    return evaluator.evaluate(expression).stats

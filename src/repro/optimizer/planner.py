@@ -1,0 +1,60 @@
+"""The planner: apply the AD-driven rewrites to a fixpoint.
+
+The planner is deliberately small — the paper's point is not a full cost-based
+optimizer but that attribute dependencies *enable* rewrites a scheme-only system
+cannot justify.  :meth:`Planner.optimize` applies the three rewrite rules until no
+rule changes the tree any more and returns the rewritten expression together with
+the accumulated :class:`~repro.optimizer.rewrite_rules.RewriteReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.algebra.expressions import Expression
+from repro.errors import OptimizerError
+from repro.optimizer.rewrite_rules import (
+    RewriteReport,
+    eliminate_contradictory_selections,
+    eliminate_redundant_guards,
+    prune_union_branches,
+)
+
+#: the rewrite rules applied by default, in order
+DEFAULT_RULES: Tuple[Callable, ...] = (
+    prune_union_branches,
+    eliminate_contradictory_selections,
+    eliminate_redundant_guards,
+)
+
+
+class Planner:
+    """Applies dependency-aware rewrite rules to algebra expressions.
+
+    ``catalog`` is the source of declared dependencies for base relations (any
+    object with a ``dependencies(name)`` method, e.g. :class:`repro.engine.Database`,
+    or a mapping).  ``rules`` may be overridden to ablate individual rewrites.
+    """
+
+    def __init__(self, catalog=None, rules: Optional[Sequence[Callable]] = None,
+                 max_passes: int = 10):
+        self.catalog = catalog
+        self.rules = tuple(rules) if rules is not None else DEFAULT_RULES
+        if max_passes < 1:
+            raise OptimizerError("max_passes must be at least 1")
+        self.max_passes = max_passes
+
+    def optimize(self, expression: Expression) -> Tuple[Expression, RewriteReport]:
+        """Rewrite ``expression`` to a fixpoint; returns (new expression, report)."""
+        report = RewriteReport()
+        current = expression
+        for _ in range(self.max_passes):
+            changed = False
+            for rule in self.rules:
+                current, rule_report = rule(current, self.catalog)
+                if rule_report.changed:
+                    report.merge(rule_report)
+                    changed = True
+            if not changed:
+                break
+        return current, report

@@ -1,0 +1,32 @@
+"""A small textual query language for flexible relations.
+
+The algebra of :mod:`repro.algebra` is the formal interface; this package adds the
+convenience of a SQL-flavoured surface syntax so that examples, tests and interactive
+use do not have to build expression trees by hand::
+
+    SELECT name, typing_speed
+    FROM employees
+    WHERE salary > 5000 AND jobtype = 'secretary'
+    GUARD typing_speed
+
+Supported constructs (see :mod:`repro.query.parser` for the grammar):
+
+* ``SELECT * | attribute list`` — projection (``*`` keeps every attribute),
+* ``FROM r1, r2`` — cartesian product; ``FROM r1 JOIN r2 [ON (a, b)]`` — natural join,
+* ``WHERE`` — comparisons (``=  != <> < <= > >=``), ``IN (...)``, ``HAS a, b``
+  (an explicit type guard inside the predicate), ``AND`` / ``OR`` / ``NOT`` and
+  parentheses; attribute-to-attribute comparisons are recognized when the right-hand
+  side is an identifier,
+* ``GUARD a, b`` — a type-guard operator applied after the selection,
+* ``TAG attribute = literal`` — the extension operator ε (used for tagged unions),
+* ``UNION`` / ``OUTER UNION`` / ``EXCEPT`` between query blocks.
+
+``parse_query`` returns an ordinary :class:`repro.algebra.Expression`, so parsed
+queries go through exactly the same optimizer and evaluator as hand-built ones;
+:meth:`repro.engine.Database.query` is the one-call convenience wrapper.
+"""
+
+from repro.query.lexer import Token, tokenize
+from repro.query.parser import parse_query
+
+__all__ = ["Token", "tokenize", "parse_query"]

@@ -1,0 +1,129 @@
+"""Tokenizer for the textual query language."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional
+
+from repro.errors import ReproError
+
+
+class QuerySyntaxError(ReproError):
+    """Raised for malformed query text (lexical or grammatical)."""
+
+
+class Token(NamedTuple):
+    """A single token: its kind, its value, and where it starts (for error messages)."""
+
+    kind: str
+    value: object
+    position: int
+
+    def describe(self) -> str:
+        return "{}({!r}) at position {}".format(self.kind, self.value, self.position)
+
+
+#: keywords are case-insensitive; they are emitted as their upper-case spelling
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GUARD", "TAG", "UNION", "OUTER", "EXCEPT",
+    "JOIN", "NATURAL", "ON", "AND", "OR", "NOT", "HAS", "IN", "TRUE", "FALSE", "NULL",
+}
+
+#: multi-character operators must be matched before their one-character prefixes
+OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">")
+
+PUNCTUATION = {",": "COMMA", "(": "LPAREN", ")": "RPAREN", "*": "STAR"}
+
+
+def tokenize(text: str) -> List[Token]:
+    """Turn query text into a list of tokens (ending with an ``EOF`` token)."""
+    tokens: List[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "-" and text[index:index + 2] == "--":
+            # line comment
+            end = text.find("\n", index)
+            index = length if end == -1 else end + 1
+            continue
+        if char in PUNCTUATION:
+            tokens.append(Token(PUNCTUATION[char], char, index))
+            index += 1
+            continue
+        operator = _match_operator(text, index)
+        if operator is not None:
+            tokens.append(Token("OP", operator, index))
+            index += len(operator)
+            continue
+        if char == "'":
+            value, index = _read_string(text, index)
+            tokens.append(Token("STRING", value, index))
+            continue
+        if char.isdigit() or (char in "+-" and index + 1 < length and text[index + 1].isdigit()):
+            value, new_index = _read_number(text, index)
+            tokens.append(Token("NUMBER", value, index))
+            index = new_index
+            continue
+        if char.isalpha() or char == "_":
+            value, new_index = _read_name(text, index)
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(upper, upper, index))
+            else:
+                tokens.append(Token("NAME", value, index))
+            index = new_index
+            continue
+        raise QuerySyntaxError("unexpected character {!r} at position {}".format(char, index))
+    tokens.append(Token("EOF", None, length))
+    return tokens
+
+
+def _match_operator(text: str, index: int) -> Optional[str]:
+    for operator in OPERATORS:
+        if text.startswith(operator, index):
+            return operator
+    return None
+
+
+def _read_string(text: str, index: int):
+    """Read a single-quoted string literal; ``''`` inside is an escaped quote."""
+    assert text[index] == "'"
+    index += 1
+    pieces = []
+    while True:
+        if index >= len(text):
+            raise QuerySyntaxError("unterminated string literal")
+        char = text[index]
+        if char == "'":
+            if text[index + 1:index + 2] == "'":
+                pieces.append("'")
+                index += 2
+                continue
+            return "".join(pieces), index + 1
+        pieces.append(char)
+        index += 1
+
+
+def _read_number(text: str, index: int):
+    start = index
+    if text[index] in "+-":
+        index += 1
+    seen_dot = False
+    while index < len(text) and (text[index].isdigit() or (text[index] == "." and not seen_dot)):
+        if text[index] == ".":
+            seen_dot = True
+        index += 1
+    raw = text[start:index]
+    if raw in ("+", "-") or raw.endswith("."):
+        raise QuerySyntaxError("malformed number {!r} at position {}".format(raw, start))
+    return (float(raw) if seen_dot else int(raw)), index
+
+
+def _read_name(text: str, index: int):
+    start = index
+    while index < len(text) and (text[index].isalnum() or text[index] == "_"):
+        index += 1
+    return text[start:index], index

@@ -1,0 +1,22 @@
+"""Record types, the traditional record-subtyping rule, type guards and type checking.
+
+This package provides the *traditional* typing machinery that Section 3.2 of the
+paper compares against: record types as named field collections with domains, the
+Cardelli/Wegner record-subtyping rule (width and depth subtyping), type guards that
+restore type information lost by operations on heterogeneous collections, and a
+type checker for tuples against record types and flexible schemes.
+"""
+
+from repro.types.record_types import RecordType, domain_subsumes, is_record_subtype
+from repro.types.type_guards import TypeGuard, conjunction_of_guards
+from repro.types.type_checking import TypeChecker, check_tuple_against_type
+
+__all__ = [
+    "RecordType",
+    "domain_subsumes",
+    "is_record_subtype",
+    "TypeGuard",
+    "conjunction_of_guards",
+    "TypeChecker",
+    "check_tuple_against_type",
+]

@@ -1,0 +1,62 @@
+"""Type guards.
+
+Models supporting heterogeneous collections possess operations that do not preserve
+the most specific type of an entity (Section 3.1.2).  A *type guard* restores the
+lost information by checking at run time whether an entity has certain attributes
+(or a certain type).  In the query algebra a type guard appears as a filter
+``attributes ⊆ attr(t)``; the optimizer uses attribute dependencies to recognize
+guards that are implied by earlier selections and therefore redundant (Example 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.model.attributes import AttributeSet, attrset
+from repro.model.tuples import FlexTuple
+
+
+class TypeGuard:
+    """A run-time check that a tuple possesses the given attributes."""
+
+    def __init__(self, attributes):
+        self.attributes = attrset(attributes)
+
+    def check(self, tup: FlexTuple) -> bool:
+        """``True`` when the tuple carries every guarded attribute."""
+        return tup.is_defined_on(self.attributes)
+
+    def __call__(self, tup: FlexTuple) -> bool:
+        return self.check(tup)
+
+    def is_trivial(self) -> bool:
+        """A guard over the empty attribute set always succeeds."""
+        return not self.attributes
+
+    def union(self, other: "TypeGuard") -> "TypeGuard":
+        """The conjunction of two guards is the guard over the union of their attributes."""
+        return TypeGuard(self.attributes | other.attributes)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TypeGuard):
+            return NotImplemented
+        return self.attributes == other.attributes
+
+    def __hash__(self) -> int:
+        return hash(("guard", self.attributes))
+
+    def __repr__(self) -> str:
+        return "TypeGuard({})".format(self.attributes)
+
+
+def conjunction_of_guards(guards: Iterable[TypeGuard]) -> TypeGuard:
+    """Collapse several guards into a single guard over the union of their attributes."""
+    combined = AttributeSet()
+    for guard in guards:
+        combined = combined | guard.attributes
+    return TypeGuard(combined)
+
+
+def guards_for_attributes(attributes) -> List[TypeGuard]:
+    """One single-attribute guard per attribute (the granularity used by rewrites)."""
+    return [TypeGuard(attribute) for attribute in attrset(attributes)]

@@ -1,0 +1,54 @@
+"""Workload generators for the examples, the property tests and the benchmarks.
+
+* :mod:`repro.workloads.employees` — the paper's running example: employees with a
+  ``jobtype`` whose value determines which variant attributes are present
+  (Section 1, Example 2, Example 3, Example 4).
+* :mod:`repro.workloads.addresses` — the address example of Section 1: unconditioned
+  zip code and town, a disjoint union of post-office box and street (with an optional
+  house number), and the non-disjoint electronic-communication union.
+* :mod:`repro.workloads.generators` — random flexible schemes, explicit ADs and
+  heterogeneous instances with controllable error rates, used for scaling sweeps and
+  property-based testing.
+"""
+
+from repro.workloads.employees import (
+    EMPLOYEE_VARIANT_ATTRIBUTES,
+    employee_definition,
+    employee_dependency,
+    employee_domains,
+    employee_key_dependency,
+    employee_scheme,
+    generate_employees,
+)
+from repro.workloads.addresses import (
+    address_definition,
+    address_dependency,
+    address_domains,
+    address_scheme,
+    generate_addresses,
+)
+from repro.workloads.generators import (
+    instance_for_dependency,
+    random_explicit_ad,
+    random_flexible_scheme,
+    random_instance,
+)
+
+__all__ = [
+    "EMPLOYEE_VARIANT_ATTRIBUTES",
+    "employee_scheme",
+    "employee_dependency",
+    "employee_domains",
+    "employee_key_dependency",
+    "employee_definition",
+    "generate_employees",
+    "address_scheme",
+    "address_dependency",
+    "address_domains",
+    "address_definition",
+    "generate_addresses",
+    "random_flexible_scheme",
+    "random_explicit_ad",
+    "random_instance",
+    "instance_for_dependency",
+]

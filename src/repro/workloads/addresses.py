@@ -1,0 +1,109 @@
+"""The address workload of Section 1.
+
+Every address has a zip code and a town (unconditioned).  The town-local part is a
+disjoint union of a post-office box number and a street, where a street may carry an
+optional house number.  The electronic-communication part is a non-disjoint union of
+telephone number, FAX number and e-mail address — at least one must be present.
+
+On top of the purely existential structure the workload declares a value-based
+dependency: the value of ``delivery`` ('box' or 'street') determines which town-local
+attributes are present — the same shape as the jobtype example, so the address
+workload exercises optional attributes *inside* a variant (the house number), which
+the employee workload does not.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.core.dependencies import ExplicitAttributeDependency, Variant
+from repro.engine.catalog import TableDefinition
+from repro.model.domains import Domain, EnumDomain, IntDomain, StringDomain
+from repro.model.scheme import FlexibleScheme
+
+_TOWNS = ("ulm", "berlin", "hamburg", "munich", "bremen", "leipzig", "dresden")
+_STREETS = ("main street", "oak avenue", "station road", "park lane", "river walk")
+
+
+def address_scheme() -> FlexibleScheme:
+    """The flexible scheme of the address relation.
+
+    ``<5, 5, { zip_code, town, delivery,
+               <1, 1, { po_box, <1, 2, { street, house_number }> }>,
+               <1, 3, { tel_number, fax_number, email }> }>``
+    """
+    town_local = FlexibleScheme(
+        1, 1, ["po_box", FlexibleScheme(1, 2, ["street", "house_number"])]
+    )
+    electronic = FlexibleScheme(1, 3, ["tel_number", "fax_number", "email"])
+    return FlexibleScheme(5, 5, ["zip_code", "town", "delivery", town_local, electronic])
+
+
+def address_dependency() -> ExplicitAttributeDependency:
+    """``delivery`` determines the town-local attributes.
+
+    ``'box'`` → exactly ``po_box``; ``'street'`` → ``street`` (the optional house
+    number is *not* part of the dependency's right-hand side, so it stays free —
+    dependencies constrain exactly the attributes they mention).
+    """
+    return ExplicitAttributeDependency(
+        ["delivery"],
+        ["po_box", "street"],
+        [
+            Variant([{"delivery": "box"}], ["po_box"], name="box"),
+            Variant([{"delivery": "street"}], ["street"], name="street"),
+        ],
+    )
+
+
+def address_domains() -> Dict[str, Domain]:
+    """Domains for every address attribute."""
+    return {
+        "zip_code": IntDomain(),
+        "town": StringDomain(max_length=32),
+        "delivery": EnumDomain(["box", "street"], name="delivery"),
+        "po_box": IntDomain(),
+        "street": StringDomain(max_length=64),
+        "house_number": IntDomain(),
+        "tel_number": StringDomain(max_length=24),
+        "fax_number": StringDomain(max_length=24),
+        "email": StringDomain(max_length=64),
+    }
+
+
+def address_definition(name: str = "addresses") -> TableDefinition:
+    """A ready-made table definition for the address workload."""
+    return TableDefinition(
+        name,
+        address_scheme(),
+        domains=address_domains(),
+        dependencies=[address_dependency()],
+    )
+
+
+def generate_addresses(count: int, seed: int = 0) -> List[Dict[str, object]]:
+    """Generate valid address tuples covering every structural variant."""
+    rng = random.Random(seed)
+    tuples: List[Dict[str, object]] = []
+    for _ in range(count):
+        values: Dict[str, object] = {
+            "zip_code": rng.randrange(10_000, 99_999),
+            "town": rng.choice(_TOWNS),
+        }
+        if rng.random() < 0.4:
+            values["delivery"] = "box"
+            values["po_box"] = rng.randrange(1, 9_999)
+        else:
+            values["delivery"] = "street"
+            values["street"] = rng.choice(_STREETS)
+            if rng.random() < 0.7:
+                values["house_number"] = rng.randrange(1, 250)
+        channels = rng.sample(["tel_number", "fax_number", "email"], rng.randrange(1, 4))
+        for channel in channels:
+            if channel == "email":
+                values[channel] = "person{}@example.org".format(rng.randrange(10_000))
+            else:
+                values[channel] = "+49-{}-{}".format(rng.randrange(100, 999), rng.randrange(10_000, 99_999))
+        tuples.append(values)
+    return tuples

@@ -1,0 +1,89 @@
+"""Shared fixtures: the paper's running examples as ready-made objects."""
+
+import pytest
+
+from repro.core.dependencies import ExplicitAttributeDependency, Variant
+from repro.engine import Database, Table
+from repro.model.domains import EnumDomain, FloatDomain, IntDomain, StringDomain
+from repro.model.scheme import FlexibleScheme
+from repro.workloads.addresses import address_definition, generate_addresses
+from repro.workloads.employees import (
+    employee_definition,
+    employee_dependency,
+    employee_domains,
+    employee_scheme,
+    generate_employees,
+)
+
+
+@pytest.fixture
+def example1_scheme():
+    """The flexible scheme FS of Example 1: A, B unconditioned; C|D; some of E, F, G."""
+    return FlexibleScheme(
+        4,
+        4,
+        ["A", "B", FlexibleScheme(1, 1, ["C", "D"]), FlexibleScheme(1, 3, ["E", "F", "G"])],
+    )
+
+
+#: the 14 attribute combinations listed for dnf(FS) in the paper
+EXAMPLE1_DNF = {
+    frozenset("ABCE"), frozenset("ABDE"), frozenset("ABCF"), frozenset("ABDF"),
+    frozenset("ABCG"), frozenset("ABDG"), frozenset("ABCEF"), frozenset("ABDEF"),
+    frozenset("ABCEG"), frozenset("ABDEG"), frozenset("ABCFG"), frozenset("ABDFG"),
+    frozenset("ABCEFG"), frozenset("ABDEFG"),
+}
+
+
+@pytest.fixture
+def example1_dnf():
+    return set(EXAMPLE1_DNF)
+
+
+@pytest.fixture
+def jobtype_ead():
+    """The explicit attribute dependency of Example 2."""
+    return employee_dependency()
+
+
+@pytest.fixture
+def employee_table():
+    """An engine table for the employee workload, with 60 valid tuples loaded."""
+    table = Table(employee_definition())
+    table.insert_many(generate_employees(60, seed=7))
+    return table
+
+
+@pytest.fixture
+def employee_database(employee_table):
+    """A database exposing the loaded employee table under the name ``employees``."""
+    database = Database()
+    definition = employee_definition()
+    table = database.create_table(
+        "employees",
+        definition.scheme,
+        domains=definition.domains,
+        key=definition.key,
+        dependencies=definition.dependencies,
+    )
+    table.insert_many(employee_table.tuples)
+    return database
+
+
+@pytest.fixture
+def address_table():
+    """An engine table for the address workload, with 40 tuples loaded."""
+    table = Table(address_definition())
+    table.insert_many(generate_addresses(40, seed=11))
+    return table
+
+
+@pytest.fixture
+def maiden_name_ead():
+    """The sex/marital-status example: a two-attribute determinant."""
+    return ExplicitAttributeDependency(
+        ["sex", "marital_status"],
+        ["maiden_name"],
+        [Variant([{"sex": "f", "marital_status": "married"},
+                  {"sex": "f", "marital_status": "widowed"}], ["maiden_name"], name="maiden")],
+    )

@@ -1,0 +1,97 @@
+"""Tests for the schema-design advisor."""
+
+import pytest
+
+from repro.core.dependencies import ad, ead, fd
+from repro.engine import TableDefinition
+from repro.er import advise, dependency_preservation, redundant_dependencies
+from repro.model.domains import EnumDomain, IntDomain
+from repro.model.scheme import FlexibleScheme
+from repro.workloads.employees import employee_definition
+
+
+class TestRedundantDependencies:
+    def test_projection_of_declared_dependency_is_redundant(self):
+        deps = [ad("k", ["a", "b"]), ad("k", ["a"])]
+        assert redundant_dependencies(deps) == [deps[1]]
+
+    def test_independent_dependencies_are_kept(self):
+        deps = [ad("k", ["a"]), ad("j", ["b"]), fd("k", ["j"])]
+        assert redundant_dependencies(deps) == []
+
+    def test_fd_implied_by_transitivity_is_redundant(self):
+        deps = [fd("a", "b"), fd("b", "c"), fd("a", "c")]
+        assert redundant_dependencies(deps) == [deps[2]]
+
+
+class TestDependencyPreservation:
+    def test_horizontal_fragments_preserve_the_jobtype_dependency(self, jobtype_ead):
+        base = ["emp_id", "name", "salary", "jobtype"]
+        fragments = [base + list(variant.attributes.names) for variant in jobtype_ead.variants]
+        preserved, lost = dependency_preservation(fragments, [jobtype_ead])
+        assert preserved and not lost
+
+    def test_fragment_without_the_determinant_loses_the_dependency(self, jobtype_ead):
+        fragments = [["emp_id", "typing_speed", "foreign_languages"],
+                     ["emp_id", "products", "sales_commission", "programming_languages"]]
+        preserved, lost = dependency_preservation(fragments, [jobtype_ead])
+        assert not preserved and lost == [jobtype_ead]
+
+    def test_fd_projection_semantics(self):
+        deps = [fd("id", ["a", "b"])]
+        preserved, _ = dependency_preservation([["id", "a"], ["id", "b"]], deps)
+        assert preserved
+        preserved, lost = dependency_preservation([["a", "b"]], deps)
+        assert not preserved and lost == deps
+
+
+class TestAdvise:
+    def test_employee_definition_is_clean(self):
+        report = advise(employee_definition())
+        assert report.clean
+        assert report.redundant == []
+        assert len(report.specializations) == 1
+        advice = report.specializations[0]
+        assert advice.disjoint is False           # 'products' is shared
+        assert advice.total is True               # all three jobtypes covered
+        assert advice.needs_artificial_determinant is False
+        assert advice.horizontal_preserves and advice.vertical_preserves
+        assert advice.expected_null_cells_per_tuple == 3.0
+
+    def test_summary_mentions_the_findings(self):
+        summary = advise(employee_definition()).summary()
+        assert "no redundant dependencies" in summary
+        assert "specialization on {jobtype}" in summary
+        assert "NULL cells per tuple" in summary
+
+    def test_redundant_dependency_is_reported(self):
+        definition = employee_definition()
+        definition.dependencies.append(ad(["jobtype"], ["typing_speed"]))
+        report = advise(definition)
+        assert not report.clean
+        assert report.redundant == [definition.dependencies[-1]]
+
+    def test_multi_attribute_determinant_flags_embedding_obstacle(self, maiden_name_ead):
+        scheme = FlexibleScheme(3, 3, ["sex", "marital_status",
+                                       FlexibleScheme(0, 1, ["maiden_name"])])
+        definition = TableDefinition(
+            "persons", scheme,
+            domains={"sex": EnumDomain(["f", "m"]),
+                     "marital_status": EnumDomain(["single", "married", "widowed"])},
+            dependencies=[maiden_name_ead],
+        )
+        report = advise(definition)
+        advice = report.specializations[0]
+        assert advice.needs_artificial_determinant
+        assert not report.clean
+        assert "artificial determinant" in report.summary()
+        # only (f, married) and (f, widowed) are covered out of six combinations
+        assert advice.total is False
+
+    def test_totality_unknown_without_finite_domains(self, maiden_name_ead):
+        scheme = FlexibleScheme(3, 3, ["sex", "marital_status",
+                                       FlexibleScheme(0, 1, ["maiden_name"])])
+        definition = TableDefinition("persons", scheme, dependencies=[maiden_name_ead])
+        advice = advise(definition).specializations[0]
+        assert advice.total is None
+        assert "total: unknown" in advise(definition).summary()

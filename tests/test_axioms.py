@@ -1,0 +1,182 @@
+"""Tests for the axiom systems Å and Å*: derivations, proof traces, rule dropping."""
+
+import pytest
+
+from repro.core.axioms import (
+    AXIOM_SYSTEM_AD,
+    AXIOM_SYSTEM_COMBINED,
+    AxiomSystem,
+    chain_derives,
+    derive,
+    forward_chain,
+)
+from repro.core.closure import implies
+from repro.core.dependencies import ad, ead, fd
+from repro.errors import DerivationError
+from repro.model.attributes import AttributeSet
+
+
+class TestSystems:
+    def test_pure_system_has_four_rules(self):
+        assert len(AXIOM_SYSTEM_AD.rules) == 4
+        assert "A1 projectivity" in AXIOM_SYSTEM_AD.rule_names()
+
+    def test_combined_system_has_seven_rules(self):
+        assert len(AXIOM_SYSTEM_COMBINED.rules) == 7
+        assert "AF2 combined transitivity" in AXIOM_SYSTEM_COMBINED.rule_names()
+
+    def test_without_removes_a_rule(self):
+        reduced = AXIOM_SYSTEM_AD.without("A2 additivity")
+        assert len(reduced.rules) == 3
+
+    def test_without_unknown_rule_rejected(self):
+        with pytest.raises(DerivationError):
+            AXIOM_SYSTEM_AD.without("nonexistent")
+
+
+class TestConstructiveDerivation:
+    def test_reflexivity_only(self):
+        trace = derive([], ad(["A", "B"], ["A"]), system=AXIOM_SYSTEM_AD)
+        assert trace is not None
+        assert trace.conclusion == ad(["A", "B"], ["A"])
+        assert all("reflexivity" in rule for rule in trace.rules_used())
+
+    def test_empty_rhs(self):
+        trace = derive([], ad("A", []), system=AXIOM_SYSTEM_AD)
+        assert trace is not None and trace.conclusion == ad("A", [])
+
+    def test_projectivity_and_augmentation(self):
+        trace = derive([ad("A", ["B", "C"])], ad(["A", "D"], "B"), system=AXIOM_SYSTEM_AD)
+        assert trace is not None
+        rules = trace.rules_used()
+        assert any("projectivity" in rule for rule in rules)
+        assert any("augmentation" in rule for rule in rules)
+
+    def test_additivity(self):
+        trace = derive([ad("A", "B"), ad("A", "C")], ad("A", ["B", "C"]), system=AXIOM_SYSTEM_AD)
+        assert trace is not None
+        assert any("additivity" in rule for rule in trace.rules_used())
+
+    def test_non_derivable_returns_none(self):
+        assert derive([ad("A", "B")], ad("B", "A"), system=AXIOM_SYSTEM_AD) is None
+        assert derive([ad("A", "B"), ad("B", "C")], ad("A", "C"), system=AXIOM_SYSTEM_AD) is None
+
+    def test_pascal_workaround_trace(self):
+        trace = derive([fd(["S", "M"], "T"), ad("T", "N")], ad(["S", "M"], "N"))
+        assert trace is not None
+        assert any("combined transitivity" in rule for rule in trace.rules_used())
+
+    def test_fd_derivation(self):
+        trace = derive([fd("A", "B"), fd("B", "C")], fd("A", "C"))
+        assert trace is not None
+        assert any("transitivity" in rule for rule in trace.rules_used())
+
+    def test_fd_not_derivable_in_pure_system(self):
+        with pytest.raises(DerivationError):
+            derive([fd("A", "B")], fd("A", "B"), system=AXIOM_SYSTEM_AD)
+
+    def test_every_step_has_rule_and_conclusion(self):
+        trace = derive([fd("A", "B"), ad("B", ["C", "D"])], ad("A", ["C", "D"]))
+        assert len(trace) > 0
+        for step in trace:
+            assert step.rule and step.conclusion is not None
+
+    def test_trace_agrees_with_closure_implication(self):
+        dependency_sets = [
+            [ad("A", "B")],
+            [fd("A", "B"), ad("B", "C")],
+            [ad(["A", "B"], "C"), fd("C", "D")],
+        ]
+        candidates = [ad("A", "B"), ad("A", "C"), ad(["A", "B"], "C"), ad("B", "A"),
+                      ad(["A", "B"], ["C", "A"]), fd("A", "D")]
+        for deps in dependency_sets:
+            for candidate in candidates:
+                derivable = derive(deps, candidate) is not None
+                assert derivable == implies(deps, candidate)
+
+    def test_ead_target_is_weakened(self, jobtype_ead):
+        trace = derive([jobtype_ead], jobtype_ead.to_ad())
+        assert trace is not None
+
+    def test_repr_renders_steps(self):
+        trace = derive([ad("A", "B")], ad("A", "B"), system=AXIOM_SYSTEM_AD)
+        assert "derivation of" in repr(trace)
+
+
+class TestForwardChaining:
+    def test_chain_matches_closure_on_small_inputs(self):
+        deps = [fd("A", "B"), ad("B", "C")]
+        for candidate in (ad("A", "C"), ad("A", "B"), fd("A", "B"), ad("C", "B")):
+            assert chain_derives(deps, candidate) == implies(deps, candidate)
+
+    def test_left_augmentation_needed(self):
+        deps = [ad("A", "B")]
+        target = ad(["A", "C"], "B")
+        assert chain_derives(deps, target, system=AXIOM_SYSTEM_AD)
+        assert not chain_derives(deps, target,
+                                 system=AXIOM_SYSTEM_AD.without("A4 left augmentation"))
+
+    def test_additivity_needed(self):
+        deps = [ad("A", "B"), ad("A", "C")]
+        target = ad("A", ["B", "C"])
+        assert chain_derives(deps, target, system=AXIOM_SYSTEM_AD)
+        assert not chain_derives(deps, target, system=AXIOM_SYSTEM_AD.without("A2 additivity"))
+
+    def test_projectivity_needed(self):
+        deps = [ad("A", ["B", "C"])]
+        target = ad("A", "B")
+        assert chain_derives(deps, target, system=AXIOM_SYSTEM_AD)
+        assert not chain_derives(deps, target, system=AXIOM_SYSTEM_AD.without("A1 projectivity"))
+
+    def test_reflexivity_needed(self):
+        target = ad(["A", "B"], "A")
+        assert chain_derives([], target, system=AXIOM_SYSTEM_AD, universe=["A", "B"])
+        assert not chain_derives([], target, system=AXIOM_SYSTEM_AD.without("A3 reflexivity"),
+                                 universe=["A", "B"])
+
+    def test_every_rule_of_pure_system_is_non_redundant(self):
+        # For each rule there is a derivable target that the reduced system misses.
+        witnesses = {
+            "A1 projectivity": ([ad("A", ["B", "C"])], ad("A", "B")),
+            "A2 additivity": ([ad("A", "B"), ad("A", "C")], ad("A", ["B", "C"])),
+            "A3 reflexivity": ([], ad("A", "A")),
+            "A4 left augmentation": ([ad("A", "B")], ad(["A", "C"], "B")),
+        }
+        for rule_name, (deps, target) in witnesses.items():
+            assert chain_derives(deps, target, system=AXIOM_SYSTEM_AD,
+                                 universe=["A", "B", "C"])
+            assert not chain_derives(deps, target, system=AXIOM_SYSTEM_AD.without(rule_name),
+                                     universe=["A", "B", "C"])
+
+    def test_a3_and_a4_are_derivable_in_combined_system(self):
+        # Section 4.2: reflexivity (A3) and left augmentation (A4) follow from Å*.
+        assert chain_derives([], ad(["A", "B"], "A"),
+                             system=AXIOM_SYSTEM_COMBINED, universe=["A", "B"])
+        assert chain_derives([ad("A", "B")], ad(["A", "C"], "B"),
+                             system=AXIOM_SYSTEM_COMBINED, universe=["A", "B", "C"])
+
+    def test_combined_transitivity_is_non_redundant(self):
+        deps = [fd("X", "A"), ad("A", "Y")]
+        target = ad("X", "Y")
+        assert chain_derives(deps, target, system=AXIOM_SYSTEM_COMBINED)
+        assert not chain_derives(
+            deps, target, system=AXIOM_SYSTEM_COMBINED.without("AF2 combined transitivity")
+        )
+
+    def test_subsumption_is_non_redundant(self):
+        deps = [fd("A", "B")]
+        target = ad("A", "B")
+        assert chain_derives(deps, target, system=AXIOM_SYSTEM_COMBINED)
+        assert not chain_derives(
+            deps, target, system=AXIOM_SYSTEM_COMBINED.without("AF1 subsumption")
+        )
+
+    def test_forward_chain_reaches_fixpoint(self):
+        closure_set = forward_chain([ad("A", "B")], universe=["A", "B"], system=AXIOM_SYSTEM_AD)
+        assert ad("A", "B") in closure_set
+        assert ad(["A", "B"], "B") in closure_set
+
+    def test_forward_chain_cap_raises(self):
+        with pytest.raises(DerivationError):
+            forward_chain([ad("A", "B"), fd("B", "C"), ad("C", "D")],
+                          universe=list("ABCDEFGH"), max_dependencies=10)

@@ -1,0 +1,146 @@
+"""Tests for closures and closure-based (syntactic) implication."""
+
+import pytest
+
+from repro.core.closure import (
+    attribute_closure,
+    equivalent,
+    functional_closure,
+    implies,
+    implies_all,
+    is_redundant,
+    minimal_cover,
+    nontrivial_consequences,
+    split_dependencies,
+)
+from repro.core.dependencies import ad, ead, fd
+from repro.errors import DependencyError
+from repro.model.attributes import attrset
+
+
+class TestFunctionalClosure:
+    def test_reflexive_base(self):
+        assert functional_closure(["A"], []) == attrset(["A"])
+
+    def test_single_step(self):
+        assert functional_closure(["A"], [fd("A", "B")]) == attrset(["A", "B"])
+
+    def test_transitive_chain(self):
+        deps = [fd("A", "B"), fd("B", "C"), fd("C", "D")]
+        assert functional_closure(["A"], deps) == attrset(["A", "B", "C", "D"])
+
+    def test_requires_full_lhs(self):
+        deps = [fd(["A", "B"], "C")]
+        assert "C" not in functional_closure(["A"], deps)
+        assert "C" in functional_closure(["A", "B"], deps)
+
+    def test_ads_do_not_contribute(self):
+        assert functional_closure(["A"], [ad("A", "B")]) == attrset(["A"])
+
+
+class TestAttributeClosure:
+    def test_pure_system_is_single_pass(self):
+        # No transitivity: A -> B, B -> C does not give A -> C.
+        deps = [ad("A", "B"), ad("B", "C")]
+        closure = attribute_closure(["A"], deps, combined=False)
+        assert closure == attrset(["A", "B"])
+
+    def test_pure_system_ignores_fds(self):
+        deps = [fd("A", "B"), ad("B", "C")]
+        assert attribute_closure(["A"], deps, combined=False) == attrset(["A"])
+
+    def test_combined_system_uses_fds(self):
+        deps = [fd("A", "B"), ad("B", "C")]
+        assert attribute_closure(["A"], deps, combined=True) == attrset(["A", "B", "C"])
+
+    def test_combined_contains_functional_closure(self):
+        deps = [fd("A", "B"), fd("B", "C"), ad("C", "D")]
+        func = functional_closure(["A"], deps)
+        attr = attribute_closure(["A"], deps, combined=True)
+        assert func.issubset(attr)
+
+    def test_no_ad_transitivity_even_combined(self):
+        deps = [ad("A", "B"), ad("B", "C")]
+        assert attribute_closure(["A"], deps, combined=True) == attrset(["A", "B"])
+
+    def test_explicit_ads_contribute_their_abbreviated_form(self, jobtype_ead):
+        closure = attribute_closure(["jobtype"], [jobtype_ead])
+        assert attrset(["typing_speed", "products"]).issubset(closure)
+
+    def test_unknown_dependency_kind_rejected(self):
+        with pytest.raises(DependencyError):
+            split_dependencies([object()])
+
+
+class TestImplication:
+    def test_reflexivity(self):
+        assert implies([], ad(["A", "B"], ["A"]))
+        assert implies([], fd(["A", "B"], ["A"]))
+
+    def test_left_augmentation(self):
+        assert implies([ad("A", "B")], ad(["A", "C"], "B"))
+
+    def test_projectivity_and_additivity(self):
+        deps = [ad("A", ["B", "C"])]
+        assert implies(deps, ad("A", "B"))
+        assert implies(deps, ad("A", ["B", "C"]))
+
+    def test_subsumption(self):
+        assert implies([fd("A", "B")], ad("A", "B"))
+
+    def test_combined_transitivity_pascal_workaround(self):
+        # X --func--> A and A --attr--> Y  ⊢  X --attr--> Y  (Section 4.2)
+        deps = [fd("X", "A"), ad("A", "Y")]
+        assert implies(deps, ad("X", "Y"))
+        assert not implies(deps, ad("X", "Y"), combined=False)
+
+    def test_fd_not_implied_by_ad(self):
+        assert not implies([ad("A", "B")], fd("A", "B"))
+
+    def test_fd_implication_needs_combined_system(self):
+        with pytest.raises(DependencyError):
+            implies([fd("A", "B")], fd("A", "B"), combined=False)
+
+    def test_ead_candidates_are_weakened(self, jobtype_ead):
+        assert implies([jobtype_ead], jobtype_ead.to_ad())
+        assert implies([jobtype_ead.to_ad()], jobtype_ead)
+
+    def test_implies_all(self):
+        deps = [ad("A", "B"), ad("A", "C")]
+        assert implies_all(deps, [ad("A", "B"), ad("A", ["B", "C"])])
+        assert not implies_all(deps, [ad("B", "C")])
+
+
+class TestCoverAndRedundancy:
+    def test_equivalent_sets(self):
+        first = [ad("A", ["B", "C"])]
+        second = [ad("A", "B"), ad("A", "C")]
+        assert equivalent(first, second)
+
+    def test_not_equivalent(self):
+        assert not equivalent([ad("A", "B")], [ad("A", ["B", "C"])])
+
+    def test_is_redundant(self):
+        deps = [ad("A", ["B", "C"]), ad("A", "B")]
+        assert is_redundant(deps[1], deps)
+        assert not is_redundant(deps[0], deps)
+
+    def test_minimal_cover_drops_projections(self):
+        deps = [ad("A", ["B", "C"]), ad("A", "B"), ad(["A", "D"], "C")]
+        cover = minimal_cover(deps)
+        assert ad("A", ["B", "C"]) in cover
+        assert ad("A", "B") not in cover
+        assert ad(["A", "D"], "C") not in cover
+
+    def test_minimal_cover_is_equivalent(self):
+        deps = [fd("A", "B"), fd("B", "C"), fd("A", "C"), ad("C", "D"), ad("A", "D")]
+        cover = minimal_cover(deps)
+        assert equivalent(cover, deps)
+        assert len(cover) < len(deps)
+
+    def test_nontrivial_consequences(self):
+        deps = [fd("A", "B"), ad("B", "C")]
+        consequences = nontrivial_consequences(deps, ["A", "B", "C"], max_lhs=2)
+        assert ad("A", "C") in consequences
+        assert ad("B", "C") in consequences
+        assert ad("C", "A") not in consequences

@@ -1,0 +1,151 @@
+"""Tests for typed domains."""
+
+import random
+
+import pytest
+
+from repro.errors import DomainError, ReproError
+from repro.model.domains import (
+    AnyDomain,
+    BoolDomain,
+    EnumDomain,
+    FloatDomain,
+    IntDomain,
+    RangeDomain,
+    StringDomain,
+    cross_product,
+)
+
+
+class TestBasicDomains:
+    def test_any_domain_contains_everything(self):
+        domain = AnyDomain()
+        assert domain.contains(42) and domain.contains("x") and domain.contains(None)
+
+    def test_int_domain(self):
+        domain = IntDomain()
+        assert domain.contains(5)
+        assert not domain.contains(5.5)
+        assert not domain.contains(True)  # bools are not ints here
+
+    def test_float_domain_accepts_ints(self):
+        domain = FloatDomain()
+        assert domain.contains(5) and domain.contains(5.5)
+        assert not domain.contains("5.5")
+
+    def test_string_domain(self):
+        domain = StringDomain()
+        assert domain.contains("hello")
+        assert not domain.contains(5)
+
+    def test_string_domain_max_length(self):
+        domain = StringDomain(max_length=3)
+        assert domain.contains("abc")
+        assert not domain.contains("abcd")
+
+    def test_string_domain_rejects_negative_length(self):
+        with pytest.raises(ReproError):
+            StringDomain(max_length=-1)
+
+    def test_bool_domain(self):
+        domain = BoolDomain()
+        assert domain.contains(True) and domain.contains(False)
+        assert not domain.contains(1)
+        assert set(domain.values()) == {True, False}
+
+    def test_validate_raises_domain_error(self):
+        with pytest.raises(DomainError):
+            IntDomain().validate("not an int", attribute="salary")
+
+    def test_validate_returns_value(self):
+        assert IntDomain().validate(7) == 7
+
+    def test_in_operator(self):
+        assert 5 in IntDomain()
+        assert "x" not in IntDomain()
+
+
+class TestEnumDomain:
+    def test_membership(self):
+        domain = EnumDomain(["secretary", "salesman"])
+        assert domain.contains("secretary")
+        assert not domain.contains("pilot")
+
+    def test_values_keep_order(self):
+        assert list(EnumDomain(["b", "a"]).values()) == ["b", "a"]
+
+    def test_len(self):
+        assert len(EnumDomain([1, 2, 3])) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            EnumDomain([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ReproError):
+            EnumDomain(["a", "a"])
+
+    def test_is_finite(self):
+        assert EnumDomain(["a"]).is_finite
+
+
+class TestRangeDomain:
+    def test_membership(self):
+        domain = RangeDomain(0, 10)
+        assert domain.contains(0) and domain.contains(10) and domain.contains(5.5)
+        assert not domain.contains(-1) and not domain.contains(11)
+
+    def test_integral_range(self):
+        domain = RangeDomain(1, 3, integral=True)
+        assert domain.contains(2)
+        assert not domain.contains(2.5)
+        assert list(domain.values()) == [1, 2, 3]
+
+    def test_non_integral_not_enumerable(self):
+        with pytest.raises(NotImplementedError):
+            list(RangeDomain(0, 1).values())
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ReproError):
+            RangeDomain(10, 0)
+
+    def test_rejects_bool(self):
+        assert not RangeDomain(0, 1).contains(True)
+
+
+class TestRestriction:
+    def test_restrict_enum(self):
+        domain = EnumDomain(["a", "b", "c"])
+        restricted = domain.restrict(["a"])
+        assert restricted.contains("a") and not restricted.contains("b")
+
+    def test_restrict_rejects_foreign_values(self):
+        with pytest.raises(DomainError):
+            EnumDomain(["a", "b"]).restrict(["z"])
+
+    def test_restrict_infinite_domain(self):
+        restricted = FloatDomain().restrict([1.0, 2.0])
+        assert restricted.contains(1.0) and not restricted.contains(3.0)
+
+
+class TestSampling:
+    def test_samples_lie_in_domain(self):
+        rng = random.Random(0)
+        for domain in (IntDomain(), FloatDomain(), StringDomain(max_length=5),
+                       EnumDomain(["x", "y"]), RangeDomain(0, 5, integral=True)):
+            for value in domain.sample(20, rng):
+                assert domain.contains(value)
+
+
+class TestCrossProduct:
+    def test_enumerates_tup_x(self):
+        combos = set(cross_product([EnumDomain(["a", "b"]), BoolDomain()]))
+        assert combos == {("a", False), ("a", True), ("b", False), ("b", True)}
+
+    def test_respects_limit(self):
+        combos = list(cross_product([EnumDomain(list(range(10)))], limit=3))
+        assert len(combos) == 3
+
+    def test_rejects_infinite_domain(self):
+        with pytest.raises(DomainError):
+            list(cross_product([IntDomain()]))

@@ -1,0 +1,128 @@
+"""Tests for the programming-language embedding (variant records, artificial determinants)."""
+
+import pytest
+
+from repro.core.closure import implies
+from repro.core.dependencies import ead
+from repro.embedding import (
+    ArtificialDeterminant,
+    VariantCase,
+    VariantRecordType,
+    translate_scheme,
+)
+from repro.errors import EmbeddingError
+from repro.model.attributes import attrset
+from repro.model.scheme import FlexibleScheme
+from repro.model.tuples import FlexTuple
+from repro.workloads.employees import employee_dependency, employee_scheme, generate_employees
+
+
+class TestVariantRecordType:
+    def test_case_selection(self):
+        record = VariantRecordType("t", ["a"], "kind", [
+            VariantCase("one", [1], ["x"]),
+            VariantCase("two", [2, 3], ["y"]),
+        ])
+        assert record.case_for(1).name == "one"
+        assert record.case_for(3).name == "two"
+        assert record.case_for(9) is None
+
+    def test_accepts(self):
+        record = VariantRecordType("t", ["a"], "kind", [VariantCase("one", [1], ["x"])])
+        assert record.accepts(FlexTuple(a=1, kind=1, x=2))
+        assert not record.accepts(FlexTuple(a=1, kind=1))          # missing case field
+        assert not record.accepts(FlexTuple(a=1, kind=1, x=2, y=3))  # extra field
+        assert record.accepts(FlexTuple(a=1, kind=9))              # unmatched tag: fixed part only
+
+    def test_admitted_combinations(self):
+        record = VariantRecordType("t", ["a"], "kind", [
+            VariantCase("one", [1], ["x"]),
+            VariantCase("two", [2], ["y"]),
+        ])
+        assert record.admitted_combinations() == {attrset(["a", "kind", "x"]),
+                                                  attrset(["a", "kind", "y"])}
+
+    def test_duplicate_tag_values_rejected(self):
+        with pytest.raises(EmbeddingError):
+            VariantRecordType("t", ["a"], "kind", [
+                VariantCase("one", [1], ["x"]), VariantCase("two", [1], ["y"]),
+            ])
+
+    def test_cases_need_tag_field(self):
+        with pytest.raises(EmbeddingError):
+            VariantRecordType("t", ["a"], None, [VariantCase("one", [1], ["x"])])
+
+    def test_renderings(self):
+        record = VariantRecordType("person_record", ["name"], "kind",
+                                   [VariantCase("a_case", [1], ["x"])])
+        pascal = record.to_pascal()
+        assert pascal.startswith("type person_record = record")
+        assert "case kind" in pascal
+        python = record.to_python()
+        assert "class PersonRecord" in python and "class ACase(PersonRecord)" in python
+
+
+class TestTranslation:
+    def test_single_attribute_determinant(self):
+        result = translate_scheme(employee_scheme(), employee_dependency(), type_name="employee")
+        record = result.record_type
+        assert record.tag_field == "jobtype"
+        assert record.fixed_fields == attrset(["emp_id", "name", "salary"])
+        assert {c.name for c in record.cases} == {"secretary", "software engineer", "salesman"}
+        assert not result.artificial
+
+    def test_translated_type_accepts_exactly_the_valid_tuples(self):
+        result = translate_scheme(employee_scheme(), employee_dependency())
+        record = result.record_type
+        dependency = employee_dependency()
+        for values in generate_employees(40, seed=31):
+            assert record.accepts(FlexTuple(values))
+        for values in generate_employees(40, invalid_fraction=1.0, seed=32):
+            tup = FlexTuple(values)
+            assert record.accepts(tup) == dependency.check_tuple(tup)
+
+    def test_no_dependency_and_no_variants(self):
+        result = translate_scheme(FlexibleScheme.relational(["a", "b"]))
+        assert result.record_type.tag_field is None
+        assert result.record_type.fixed_fields == attrset(["a", "b"])
+        assert not result.added_dependencies
+
+    def test_artificial_ad_for_uncovered_variants(self):
+        scheme = FlexibleScheme(3, 3, ["a", "b", FlexibleScheme(1, 1, ["c", "d"])])
+        result = translate_scheme(scheme, artificial_attribute="shape")
+        record = result.record_type
+        assert record.tag_field == "shape"
+        assert len(record.cases) == scheme.count_variants()
+        assert len(result.added_dependencies) == 1
+        combos = {combo | attrset(["shape"]) for combo in scheme.dnf()}
+        assert record.admitted_combinations() == combos
+
+    def test_multi_attribute_determinant_introduces_artificial_attribute(self, maiden_name_ead):
+        scheme = FlexibleScheme(3, 3, ["sex", "marital_status",
+                                       FlexibleScheme(0, 1, ["maiden_name"])])
+        result = translate_scheme(scheme, maiden_name_ead, type_name="person")
+        assert len(result.artificial) == 1
+        artificial = result.artificial[0]
+        assert isinstance(artificial, ArtificialDeterminant)
+        assert artificial.replaces == attrset(["sex", "marital_status"])
+        assert artificial.functional_dependency.lhs == attrset(["sex", "marital_status"])
+        assert artificial.attribute_dependency.lhs == attrset([artificial.attribute])
+
+    def test_artificial_determinant_replacement_is_justified(self, maiden_name_ead):
+        scheme = FlexibleScheme(3, 3, ["sex", "marital_status",
+                                       FlexibleScheme(0, 1, ["maiden_name"])])
+        result = translate_scheme(scheme, maiden_name_ead)
+        artificial = result.artificial[0]
+        # the proof trace really derives the original dependency from the replacement
+        assert artificial.justification is not None
+        assert artificial.justification.target == maiden_name_ead.to_ad()
+        assert any("combined transitivity" in rule
+                   for rule in artificial.justification.rules_used())
+        # and the closure test agrees
+        assert implies([artificial.functional_dependency, artificial.attribute_dependency],
+                       maiden_name_ead.to_ad())
+
+    def test_dependency_outside_scheme_rejected(self):
+        dependency = ead(["k"], ["not_there"], [({"k": 1}, ["not_there"])])
+        with pytest.raises(EmbeddingError):
+            translate_scheme(FlexibleScheme.relational(["k", "a"]), dependency)

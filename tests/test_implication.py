@@ -1,0 +1,122 @@
+"""Tests for semantic implication: the appendix construction and random models."""
+
+import random
+
+import pytest
+
+from repro.core.closure import implies
+from repro.core.dependencies import ad, fd
+from repro.core.implication import (
+    counterexample_relation,
+    dependency_universe,
+    holds_in_random_models,
+    random_heterogeneous_tuple,
+    random_satisfying_relation,
+    semantically_implies,
+)
+from repro.errors import DependencyError
+from repro.model.attributes import attrset
+
+
+class TestCounterexampleConstruction:
+    def test_two_tuples(self):
+        relation = counterexample_relation([ad("A", "B")], ["A"])
+        assert len(relation) == 2
+
+    def test_t1_spans_the_universe(self):
+        deps = [ad("A", "B"), fd("B", "C")]
+        relation = counterexample_relation(deps, ["A"])
+        universe = dependency_universe(deps, ["A"])
+        assert any(t.attributes == universe for t in relation)
+
+    def test_t2_spans_the_attribute_closure(self):
+        deps = [fd("A", "B"), ad("B", "C")]
+        relation = counterexample_relation(deps, ["A"])
+        combos = {t.attributes for t in relation}
+        assert attrset(["A", "B", "C"]) in combos  # A+attr under Å*
+
+    def test_t2_values_separate_functional_closure(self):
+        deps = [fd("A", "B"), ad("B", "C")]
+        relation = counterexample_relation(deps, ["A"])
+        # t1 carries 1 everywhere; t2 carries 1 on A+func = {A, B} and 0 on C.
+        assert any(t["A"] == 1 and t["B"] == 1 and t.get("C") == 0 for t in relation)
+        assert any(all(t.get(name) == 1 for name in ("A", "B", "C")) for t in relation)
+
+    def test_satisfies_the_hypotheses(self):
+        deps = [fd("A", "B"), ad("B", "C"), ad(["A", "B"], "D")]
+        relation = counterexample_relation(deps, ["A"])
+        for dependency in deps:
+            assert dependency.holds_in(relation)
+
+    def test_violates_non_derivable_candidates(self):
+        deps = [ad("A", "B")]
+        relation = counterexample_relation(deps, ["B"])
+        assert not ad("B", "A").holds_in(relation)
+
+    def test_lhs_outside_universe_rejected(self):
+        with pytest.raises(DependencyError):
+            counterexample_relation([ad("A", "B")], ["Z"], universe=["A", "B"])
+
+
+class TestSemanticImplication:
+    def test_agrees_with_syntactic_implication(self):
+        dependency_sets = [
+            [ad("A", "B")],
+            [fd("A", "B"), ad("B", "C")],
+            [ad("A", ["B", "C"]), fd("C", "D")],
+            [fd("A", "B"), fd("B", "C")],
+        ]
+        candidates = [ad("A", "B"), ad("A", "C"), ad("B", "C"), ad("C", "A"),
+                      ad(["A", "D"], "B"), ad("A", ["B", "C"]), fd("A", "C"), fd("A", "D")]
+        for deps in dependency_sets:
+            for candidate in candidates:
+                try:
+                    syntactic = implies(deps, candidate)
+                except DependencyError:
+                    continue
+                assert semantically_implies(deps, candidate) == syntactic, (deps, candidate)
+
+    def test_soundness_on_random_models(self):
+        # Every syntactically derivable dependency holds in every random model.
+        deps = [fd("A", "B"), ad("B", "C")]
+        derivable = [ad("A", "C"), ad("A", "B"), ad(["A", "D"], "C"), fd("A", "B")]
+        for candidate in derivable:
+            assert implies(deps, candidate)
+            assert holds_in_random_models(deps, candidate, models=10, size=12, seed=3)
+
+    def test_refutation_on_random_models(self):
+        # A non-implied dependency is refuted by some random model.
+        deps = [ad("A", "B")]
+        candidate = fd("A", "B").to_ad().augment_lhs([])  # A --attr--> B (implied)
+        assert holds_in_random_models(deps, candidate, models=5, size=10)
+        not_implied = ad("B", "C")
+        assert not holds_in_random_models(deps, not_implied, models=30, size=15, seed=1)
+
+    def test_no_ad_transitivity_semantically(self):
+        deps = [ad("A", "B"), ad("B", "C")]
+        assert not semantically_implies(deps, ad("A", "C"))
+
+
+class TestRandomModelMachinery:
+    def test_random_tuple_respects_universe(self):
+        rng = random.Random(0)
+        universe = attrset(["A", "B", "C"])
+        for _ in range(20):
+            tup = random_heterogeneous_tuple(universe, rng)
+            assert tup.attributes.issubset(universe) and len(tup) >= 1
+
+    def test_random_tuple_needs_attributes(self):
+        with pytest.raises(DependencyError):
+            random_heterogeneous_tuple(attrset([]), random.Random(0))
+
+    def test_random_relation_satisfies_requested_dependencies(self):
+        deps = [ad("A", ["B", "C"]), fd("A", "B")]
+        relation = random_satisfying_relation(deps, size=25, rng=random.Random(5))
+        for dependency in deps:
+            assert dependency.holds_in(relation)
+
+    def test_random_relation_is_reproducible(self):
+        deps = [ad("A", "B")]
+        first = random_satisfying_relation(deps, size=10, rng=random.Random(7))
+        second = random_satisfying_relation(deps, size=10, rng=random.Random(7))
+        assert first.tuples == second.tuples

@@ -1,0 +1,107 @@
+"""Tests for dependency discovery over instances."""
+
+import pytest
+
+from repro.core.dependencies import ad, fd
+from repro.core.inference import (
+    discover_ads,
+    discover_explicit_ad,
+    discover_fds,
+    maximal_ad_rhs,
+    maximal_fd_rhs,
+)
+from repro.errors import DependencyError
+from repro.model.attributes import attrset
+from repro.model.tuples import FlexTuple
+from repro.workloads.employees import employee_dependency, generate_employees
+
+
+@pytest.fixture
+def employee_instance():
+    return [FlexTuple(t) for t in generate_employees(80, seed=13)]
+
+
+class TestMaximalRhs:
+    def test_ad_rhs(self):
+        tuples = [FlexTuple(k=1, a=1), FlexTuple(k=1, a=2), FlexTuple(k=2, b=1)]
+        rhs = maximal_ad_rhs(tuples, attrset(["k"]), attrset(["a", "b"]))
+        assert rhs == attrset(["a", "b"])
+
+    def test_ad_rhs_drops_unstable_attribute(self):
+        tuples = [FlexTuple(k=1, a=1), FlexTuple(k=1)]
+        rhs = maximal_ad_rhs(tuples, attrset(["k"]), attrset(["a"]))
+        assert rhs == attrset([])
+
+    def test_fd_rhs_requires_equal_values(self):
+        tuples = [FlexTuple(k=1, a=1), FlexTuple(k=1, a=2)]
+        assert maximal_fd_rhs(tuples, attrset(["k"]), attrset(["a"])) == attrset([])
+        tuples = [FlexTuple(k=1, a=1), FlexTuple(k=1, a=1)]
+        assert maximal_fd_rhs(tuples, attrset(["k"]), attrset(["a"])) == attrset(["a"])
+
+
+class TestDiscoverAds:
+    def test_finds_the_jobtype_dependency(self, employee_instance):
+        discovered = discover_ads(employee_instance, max_lhs=1)
+        jobtype_ads = [d for d in discovered if d.lhs == attrset(["jobtype"])]
+        assert jobtype_ads
+        assert employee_dependency().rhs.issubset(jobtype_ads[0].rhs)
+
+    def test_discovered_dependencies_hold(self, employee_instance):
+        for dependency in discover_ads(employee_instance, max_lhs=2):
+            assert dependency.holds_in(employee_instance)
+
+    def test_no_false_positive_for_violating_instance(self):
+        tuples = [FlexTuple(k=1, a=1), FlexTuple(k=1, b=1)]
+        discovered = discover_ads(tuples, max_lhs=1)
+        assert not any(d.lhs == attrset(["k"]) and ("a" in d.rhs or "b" in d.rhs)
+                       for d in discovered)
+
+    def test_trivial_dependencies_excluded_by_default(self):
+        tuples = [FlexTuple(k=1, a=1)]
+        for dependency in discover_ads(tuples, max_lhs=1):
+            assert not dependency.rhs.issubset(dependency.lhs)
+
+
+class TestDiscoverFds:
+    def test_key_like_attribute(self):
+        tuples = [FlexTuple(id=i, v=i * 10) for i in range(5)]
+        discovered = discover_fds(tuples, max_lhs=1)
+        assert any(d.lhs == attrset(["id"]) and "v" in d.rhs for d in discovered)
+
+    def test_discovered_fds_hold(self, employee_instance):
+        for dependency in discover_fds(employee_instance, max_lhs=1):
+            assert dependency.holds_in(employee_instance)
+
+    def test_non_functional_attribute_not_reported(self):
+        tuples = [FlexTuple(k=1, v=1), FlexTuple(k=1, v=2)]
+        assert not any("v" in d.rhs for d in discover_fds(tuples, max_lhs=1))
+
+
+class TestDiscoverExplicitAd:
+    def test_reconstructs_the_jobtype_ead(self, employee_instance):
+        reference = employee_dependency()
+        reconstructed = discover_explicit_ad(employee_instance, ["jobtype"], reference.rhs)
+        assert reconstructed.lhs == reference.lhs
+        by_attrs = {frozenset(v.attributes.names) for v in reconstructed.variants}
+        expected = {frozenset(v.attributes.names) for v in reference.variants}
+        assert by_attrs == expected
+
+    def test_reconstructed_ead_validates_original_instance(self, employee_instance):
+        reconstructed = discover_explicit_ad(employee_instance, ["jobtype"])
+        assert reconstructed.holds_in(employee_instance)
+
+    def test_conflicting_instance_rejected(self):
+        tuples = [FlexTuple(k=1, a=1), FlexTuple(k=1, b=1)]
+        with pytest.raises(DependencyError):
+            discover_explicit_ad(tuples, ["k"])
+
+    def test_instance_without_variants_rejected(self):
+        tuples = [FlexTuple(k=1), FlexTuple(k=2)]
+        with pytest.raises(DependencyError):
+            discover_explicit_ad(tuples, ["k"])
+
+    def test_values_outside_variants_map_to_empty(self):
+        tuples = [FlexTuple(k=1, a=1), FlexTuple(k=2)]
+        dependency = discover_explicit_ad(tuples, ["k"], ["a"])
+        assert dependency.required_attributes(FlexTuple(k=2)) == attrset([])
+        assert dependency.required_attributes(FlexTuple(k=1)) == attrset(["a"])

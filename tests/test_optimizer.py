@@ -1,0 +1,251 @@
+"""Tests for the AD-driven optimizer: analysis, rewrites, planner, cost."""
+
+import pytest
+
+from repro.algebra import (
+    EmptyRelation,
+    Evaluator,
+    Extension,
+    OuterUnion,
+    Projection,
+    RelationRef,
+    Selection,
+    TypeGuardNode,
+    Union,
+)
+from repro.algebra.predicates import Comparison, FalsePredicate, PresencePredicate
+from repro.errors import OptimizerError
+from repro.model.attributes import attrset
+from repro.optimizer import (
+    Planner,
+    QualifiedRelation,
+    eliminate_contradictory_selections,
+    eliminate_redundant_guards,
+    estimate_cost,
+    guaranteed_absent,
+    guaranteed_present,
+    measured_cost,
+    prune_union_branches,
+    qualification_excludes,
+)
+from repro.optimizer.planner import DEFAULT_RULES
+
+
+def secretary_selection():
+    return Comparison("salary", ">", 5000.0) & Comparison("jobtype", "=", "secretary")
+
+
+class TestAnalysis:
+    def test_selection_forces_presence_of_predicate_attributes(self, employee_database):
+        expr = Selection(RelationRef("employees"), secretary_selection())
+        present = guaranteed_present(expr, employee_database)
+        assert attrset(["salary", "jobtype"]).issubset(present)
+
+    def test_dependency_implies_variant_attributes(self, employee_database):
+        expr = Selection(RelationRef("employees"), secretary_selection())
+        present = guaranteed_present(expr, employee_database)
+        assert attrset(["typing_speed", "foreign_languages"]).issubset(present)
+
+    def test_dependency_implies_absence_of_other_variants(self, employee_database):
+        expr = Selection(RelationRef("employees"), secretary_selection())
+        absent = guaranteed_absent(expr, employee_database)
+        assert attrset(["sales_commission", "products", "programming_languages"]).issubset(absent)
+
+    def test_unbound_determinant_implies_nothing(self, employee_database):
+        expr = Selection(RelationRef("employees"), Comparison("salary", ">", 5000.0))
+        assert "typing_speed" not in guaranteed_present(expr, employee_database)
+        assert guaranteed_absent(expr, employee_database) == attrset([])
+
+    def test_unmatched_determinant_value_implies_total_absence(self, employee_database):
+        expr = Selection(RelationRef("employees"), Comparison("jobtype", "=", "pilot"))
+        absent = guaranteed_absent(expr, employee_database)
+        assert attrset(["typing_speed", "products", "sales_commission"]).issubset(absent)
+
+    def test_projection_erases_structural_guarantee(self, employee_database):
+        expr = Projection(Selection(RelationRef("employees"), secretary_selection()), ["name"])
+        assert "jobtype" not in guaranteed_present(expr, employee_database)
+
+
+class TestRedundantGuardElimination:
+    """Example 4: the type guard on typing-speed after jobtype='secretary' is redundant."""
+
+    def test_example4_guard_is_removed(self, employee_database):
+        expr = TypeGuardNode(Selection(RelationRef("employees"), secretary_selection()),
+                             ["typing_speed"])
+        rewritten, report = eliminate_redundant_guards(expr, employee_database)
+        assert report.changed
+        assert isinstance(rewritten, Selection)
+
+    def test_guard_on_unimplied_attribute_is_kept(self, employee_database):
+        expr = TypeGuardNode(Selection(RelationRef("employees"), secretary_selection()),
+                             ["sales_commission"])
+        rewritten, report = eliminate_redundant_guards(expr, employee_database)
+        assert not report.changed
+        assert isinstance(rewritten, TypeGuardNode)
+
+    def test_guard_without_selection_is_kept(self, employee_database):
+        expr = TypeGuardNode(RelationRef("employees"), ["typing_speed"])
+        _, report = eliminate_redundant_guards(expr, employee_database)
+        assert not report.changed
+
+    def test_guard_implied_by_another_guard_is_removed(self, employee_database):
+        expr = TypeGuardNode(TypeGuardNode(RelationRef("employees"), ["typing_speed", "name"]),
+                             ["typing_speed"])
+        rewritten, report = eliminate_redundant_guards(expr, employee_database)
+        assert report.changed
+        assert isinstance(rewritten, TypeGuardNode)
+        assert rewritten.attributes == attrset(["typing_speed", "name"])
+
+    def test_rewrite_preserves_results(self, employee_database):
+        expr = TypeGuardNode(Selection(RelationRef("employees"), secretary_selection()),
+                             ["typing_speed"])
+        rewritten, _ = eliminate_redundant_guards(expr, employee_database)
+        evaluator = Evaluator(employee_database)
+        assert evaluator.evaluate(expr).tuples == evaluator.evaluate(rewritten).tuples
+
+    def test_rewrite_reduces_measured_work(self, employee_database):
+        expr = TypeGuardNode(Selection(RelationRef("employees"), secretary_selection()),
+                             ["typing_speed"])
+        rewritten, _ = eliminate_redundant_guards(expr, employee_database)
+        assert measured_cost(rewritten, employee_database).total_work \
+            < measured_cost(expr, employee_database).total_work
+
+
+class TestContradictionElimination:
+    def test_guard_on_excluded_attribute_becomes_empty(self, employee_database):
+        expr = TypeGuardNode(Selection(RelationRef("employees"), secretary_selection()),
+                             ["sales_commission"])
+        rewritten, report = eliminate_contradictory_selections(expr, employee_database)
+        assert report.changed
+        assert isinstance(rewritten, EmptyRelation)
+        result = Evaluator(employee_database).evaluate(rewritten)
+        assert len(result) == 0
+        # the whole point of the empty leaf: the input relation is never scanned
+        assert result.stats.tuples_scanned == 0
+
+    def test_selection_requiring_excluded_attribute_becomes_empty(self, employee_database):
+        inner = Selection(RelationRef("employees"), Comparison("jobtype", "=", "secretary"))
+        expr = Selection(inner, Comparison("sales_commission", ">", 0.0))
+        rewritten, report = eliminate_contradictory_selections(expr, employee_database)
+        assert report.changed
+        assert isinstance(rewritten, EmptyRelation)
+
+    def test_equivalent_results(self, employee_database):
+        expr = TypeGuardNode(Selection(RelationRef("employees"), secretary_selection()),
+                             ["sales_commission"])
+        rewritten, _ = eliminate_contradictory_selections(expr, employee_database)
+        evaluator = Evaluator(employee_database)
+        assert evaluator.evaluate(expr).tuples == evaluator.evaluate(rewritten).tuples
+
+    def test_consistent_query_untouched(self, employee_database):
+        expr = Selection(RelationRef("employees"), secretary_selection())
+        _, report = eliminate_contradictory_selections(expr, employee_database)
+        assert not report.changed
+
+
+class TestUnionBranchPruning:
+    def _fragmented_expression(self):
+        secretaries = Extension(RelationRef("secretaries"), "jobtype", "secretary")
+        salesmen = Extension(RelationRef("salesmen"), "jobtype", "salesman")
+        return Selection(OuterUnion(secretaries, salesmen), Comparison("jobtype", "=", "secretary"))
+
+    def test_contradicting_branch_is_pruned(self):
+        rewritten, report = prune_union_branches(self._fragmented_expression(), None)
+        assert report.changed
+        assert isinstance(rewritten, Selection)
+        assert isinstance(rewritten.child, Extension)
+        assert rewritten.child.value == "secretary"
+
+    def test_both_branches_pruned_gives_empty(self):
+        left = Extension(RelationRef("a"), "jobtype", "x")
+        right = Extension(RelationRef("b"), "jobtype", "y")
+        expr = Selection(Union(left, right), Comparison("jobtype", "=", "z"))
+        rewritten, report = prune_union_branches(expr, None)
+        assert report.changed and isinstance(rewritten, EmptyRelation)
+
+    def test_selection_without_equalities_keeps_union(self):
+        left = Extension(RelationRef("a"), "jobtype", "x")
+        right = Extension(RelationRef("b"), "jobtype", "y")
+        expr = Selection(Union(left, right), Comparison("salary", ">", 0))
+        _, report = prune_union_branches(expr, None)
+        assert not report.changed
+
+
+class TestQualifiedRelations:
+    def test_exclusion(self):
+        fragment = QualifiedRelation("secretaries", {"jobtype": "secretary"})
+        assert fragment.excludes({"jobtype": "salesman"})
+        assert not fragment.excludes({"jobtype": "secretary"})
+        assert not fragment.excludes({"salary": 1})
+
+    def test_qualification_excludes_function(self):
+        assert qualification_excludes({"a": 1}, {"a": 2})
+        assert not qualification_excludes({"a": 1}, {"b": 2})
+
+    def test_to_expression(self):
+        assert QualifiedRelation("x", {}).to_expression().name == "x"
+
+    def test_relevant_fragments(self):
+        from repro.optimizer.qualified_relations import relevant_fragments
+
+        fragments = [QualifiedRelation("secretaries", {"jobtype": "secretary"}),
+                     QualifiedRelation("salesmen", {"jobtype": "salesman"}),
+                     QualifiedRelation("everyone", {})]
+        relevant = relevant_fragments(fragments, {"jobtype": "secretary"})
+        assert [f.name for f in relevant] == ["secretaries", "everyone"]
+
+    def test_empty_relation_node_reports_no_dependencies(self, employee_database):
+        assert EmptyRelation().known_dependencies(employee_database) == set()
+        assert EmptyRelation().guaranteed_attributes() == attrset([])
+
+    def test_empty_relation_evaluates_to_nothing(self, employee_database):
+        result = Evaluator(employee_database).evaluate(EmptyRelation())
+        assert len(result) == 0 and result.stats.total_work == 0
+
+
+class TestPlanner:
+    def test_planner_applies_example4_end_to_end(self, employee_database):
+        expr = TypeGuardNode(Selection(RelationRef("employees"), secretary_selection()),
+                             ["typing_speed"])
+        planner = Planner(catalog=employee_database)
+        optimized, report = planner.optimize(expr)
+        assert report.changed
+        evaluator = Evaluator(employee_database)
+        assert evaluator.evaluate(expr).tuples == evaluator.evaluate(optimized).tuples
+
+    def test_planner_reaches_fixpoint_on_plain_query(self, employee_database):
+        expr = Selection(RelationRef("employees"), Comparison("salary", ">", 0))
+        _, report = Planner(catalog=employee_database).optimize(expr)
+        assert not report.changed
+
+    def test_rule_ablation(self, employee_database):
+        expr = TypeGuardNode(Selection(RelationRef("employees"), secretary_selection()),
+                             ["typing_speed"])
+        planner = Planner(catalog=employee_database, rules=[prune_union_branches])
+        _, report = planner.optimize(expr)
+        assert not report.changed
+
+    def test_invalid_max_passes(self):
+        with pytest.raises(OptimizerError):
+            Planner(max_passes=0)
+
+    def test_default_rules_exposed(self):
+        assert eliminate_redundant_guards in DEFAULT_RULES
+
+
+class TestCost:
+    def test_estimate_scales_with_base_cardinality(self, employee_database):
+        small = estimate_cost(RelationRef("employees"), employee_database)
+        selected = estimate_cost(Selection(RelationRef("employees"), secretary_selection()),
+                                 employee_database)
+        assert selected.cardinality < small.cardinality
+        assert selected.work > small.work
+
+    def test_false_selection_estimates_zero_output(self, employee_database):
+        expr = Selection(RelationRef("employees"), FalsePredicate())
+        assert estimate_cost(expr, employee_database).cardinality == 0.0
+
+    def test_measured_cost_matches_evaluator(self, employee_database):
+        expr = Selection(RelationRef("employees"), secretary_selection())
+        stats = measured_cost(expr, employee_database)
+        assert stats.predicate_evaluations == 60

@@ -1,0 +1,129 @@
+"""Tests for the selection-predicate language."""
+
+import pytest
+
+from repro.algebra.predicates import (
+    And,
+    AttributeComparison,
+    Comparison,
+    FalsePredicate,
+    Not,
+    Or,
+    PresencePredicate,
+    TruePredicate,
+    attribute_equals,
+)
+from repro.errors import PredicateError
+from repro.model.attributes import attrset
+from repro.model.tuples import FlexTuple
+
+
+class TestComparison:
+    def test_equality_operator(self):
+        predicate = Comparison("jobtype", "=", "secretary")
+        assert predicate(FlexTuple(jobtype="secretary"))
+        assert not predicate(FlexTuple(jobtype="salesman"))
+
+    def test_ordering_operators(self):
+        assert Comparison("salary", ">", 5000)(FlexTuple(salary=6000))
+        assert Comparison("salary", "<=", 5000)(FlexTuple(salary=5000))
+        assert not Comparison("salary", "<", 5000)(FlexTuple(salary=5000))
+        assert Comparison("salary", "!=", 5000)(FlexTuple(salary=1))
+
+    def test_in_operator(self):
+        predicate = Comparison("jobtype", "in", ["secretary", "salesman"])
+        assert predicate(FlexTuple(jobtype="salesman"))
+        assert not predicate(FlexTuple(jobtype="pilot"))
+
+    def test_missing_attribute_is_false(self):
+        # guarded value access: no exception, just false
+        assert not Comparison("salary", ">", 5000)(FlexTuple(name="x"))
+
+    def test_type_mismatch_is_false(self):
+        assert not Comparison("salary", ">", 5000)(FlexTuple(salary="high"))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PredicateError):
+            Comparison("a", "~", 1)
+
+    def test_multi_attribute_rejected(self):
+        with pytest.raises(PredicateError):
+            Comparison(["a", "b"], "=", 1)
+
+    def test_implied_equalities(self):
+        assert Comparison("jobtype", "=", "x").implied_equalities() == {"jobtype": "x"}
+        assert Comparison("salary", ">", 5).implied_equalities() == {}
+
+    def test_required_attributes(self):
+        assert Comparison("salary", ">", 5).required_attributes() == attrset(["salary"])
+
+    def test_attribute_equals_shorthand(self):
+        assert attribute_equals("a", 1)(FlexTuple(a=1))
+
+
+class TestAttributeComparison:
+    def test_compares_two_attributes(self):
+        predicate = AttributeComparison("a", "=", "b")
+        assert predicate(FlexTuple(a=1, b=1))
+        assert not predicate(FlexTuple(a=1, b=2))
+        assert not predicate(FlexTuple(a=1))
+
+    def test_required_attributes(self):
+        assert AttributeComparison("a", "<", "b").required_attributes() == attrset(["a", "b"])
+
+
+class TestCombinators:
+    def test_and(self):
+        predicate = Comparison("salary", ">", 5000) & Comparison("jobtype", "=", "secretary")
+        assert predicate(FlexTuple(salary=6000, jobtype="secretary"))
+        assert not predicate(FlexTuple(salary=6000, jobtype="salesman"))
+
+    def test_and_flattens(self):
+        predicate = And(And(Comparison("a", "=", 1), Comparison("b", "=", 2)), Comparison("c", "=", 3))
+        assert len(predicate.operands) == 3
+
+    def test_and_implied_equalities_merge(self):
+        predicate = Comparison("a", "=", 1) & Comparison("b", "=", 2) & Comparison("c", ">", 0)
+        assert predicate.implied_equalities() == {"a": 1, "b": 2}
+
+    def test_or(self):
+        predicate = Comparison("a", "=", 1) | Comparison("b", "=", 2)
+        assert predicate(FlexTuple(a=1)) and predicate(FlexTuple(b=2))
+        assert not predicate(FlexTuple(a=2))
+
+    def test_or_implied_equalities_require_agreement(self):
+        same = Or(Comparison("a", "=", 1) & Comparison("b", "=", 2), Comparison("a", "=", 1))
+        assert same.implied_equalities() == {"a": 1}
+        different = Comparison("a", "=", 1) | Comparison("a", "=", 2)
+        assert different.implied_equalities() == {}
+
+    def test_not(self):
+        predicate = ~Comparison("a", "=", 1)
+        assert predicate(FlexTuple(a=2))
+        assert not predicate(FlexTuple(a=1))
+
+    def test_negation_contributes_no_required_attributes(self):
+        assert Not(Comparison("a", "=", 1)).required_attributes() == attrset([])
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(PredicateError):
+            And()
+        with pytest.raises(PredicateError):
+            Or()
+
+
+class TestSpecialPredicates:
+    def test_true_and_false(self):
+        assert TruePredicate()(FlexTuple())
+        assert not FalsePredicate()(FlexTuple(a=1))
+
+    def test_presence_predicate_is_a_type_guard(self):
+        predicate = PresencePredicate(["typing_speed"])
+        assert predicate(FlexTuple(typing_speed=90))
+        assert not predicate(FlexTuple(salary=1))
+        assert predicate.required_attributes() == attrset(["typing_speed"])
+
+    def test_reprs(self):
+        assert "AND" in repr(Comparison("a", "=", 1) & Comparison("b", "=", 2))
+        assert "OR" in repr(Comparison("a", "=", 1) | Comparison("b", "=", 2))
+        assert repr(TruePredicate()) == "TRUE" and repr(FalsePredicate()) == "FALSE"

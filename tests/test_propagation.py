@@ -1,0 +1,189 @@
+"""Tests for Theorem 4.3: propagation of ADs through algebraic operators.
+
+Each rule is tested twice: once against the syntactic propagation functions and once
+empirically — the propagated dependencies must actually hold in the operator's
+result computed by the evaluator.
+"""
+
+import pytest
+
+from repro.algebra import Evaluator, Extension, Projection, RelationRef, Selection, Union
+from repro.algebra.predicates import Comparison
+from repro.core.dependencies import ad, ead
+from repro.core.inference import discover_ads
+from repro.core.propagation import (
+    propagate_difference,
+    propagate_extension,
+    propagate_product,
+    propagate_projection,
+    propagate_selection,
+    propagate_tagged_union,
+    propagate_union,
+)
+from repro.model.attributes import attrset
+from repro.model.tuples import FlexTuple
+from repro.workloads.generators import instance_for_dependency, random_explicit_ad
+
+
+@pytest.fixture
+def left_dependency():
+    return random_explicit_ad(determinant="kind", variant_count=3, attributes_per_variant=2, seed=1)
+
+
+@pytest.fixture
+def left_instance(left_dependency):
+    return instance_for_dependency(left_dependency, base_attributes=("id", "common"),
+                                   count=80, seed=2)
+
+
+class TestSyntacticRules:
+    def test_product_rule(self):
+        left = {ad("A", "B")}
+        right = {ad("C", "D")}
+        assert propagate_product(left, right) == {ad("A", "B"), ad("C", "D")}
+
+    def test_projection_rule_keeps_only_contained_lhs(self):
+        deps = {ad("A", ["B", "C"]), ad("D", "B")}
+        projected = propagate_projection(deps, ["A", "B"])
+        assert projected == {ad("A", "B")}
+
+    def test_projection_rule_intersects_rhs(self):
+        assert propagate_projection({ad("A", ["B", "C"])}, ["A", "C"]) == {ad("A", "C")}
+
+    def test_selection_rule_is_identity(self):
+        deps = {ad("A", "B"), ad(["A", "C"], "D")}
+        assert propagate_selection(deps) == deps
+
+    def test_union_rule_is_empty(self):
+        assert propagate_union({ad("A", "B")}, {ad("A", "B")}) == set()
+
+    def test_difference_rule_keeps_left(self):
+        assert propagate_difference({ad("A", "B")}, {ad("C", "D")}) == {ad("A", "B")}
+
+    def test_extension_rule_is_identity(self):
+        assert propagate_extension({ad("A", "B")}, ["tag"]) == {ad("A", "B")}
+
+    def test_tagged_union_rule_augments_lhs(self):
+        result = propagate_tagged_union({ad("A", "B")}, {ad("C", "D")}, "tag")
+        assert result == {ad(["tag", "A"], "B"), ad(["tag", "C"], "D")}
+
+    def test_explicit_ads_are_weakened_to_ads(self, jobtype_ead):
+        assert propagate_selection([jobtype_ead]) == {jobtype_ead.to_ad()}
+
+
+def _holds_in(tuples, dependency):
+    return dependency.holds_in(list(tuples))
+
+
+class TestEmpiricalValidation:
+    """The propagated dependencies hold in the actual operator results."""
+
+    def test_selection_preserves_dependencies(self, left_dependency, left_instance):
+        abbreviated = left_dependency.to_ad()
+        survivors = [t for t in left_instance if t["id"] % 2 == 0]
+        for dependency in propagate_selection([abbreviated]):
+            assert _holds_in(survivors, dependency)
+
+    def test_projection_result_satisfies_propagated(self, left_dependency, left_instance):
+        keep = attrset(["kind"]) | left_dependency.rhs
+        projected_tuples = [t.project_existing(keep) for t in left_instance]
+        for dependency in propagate_projection([left_dependency.to_ad()], keep):
+            assert _holds_in(projected_tuples, dependency)
+
+    def test_projection_losing_lhs_really_breaks_the_dependency(self):
+        # Projecting the determinant away: the propagation rule keeps nothing, and
+        # indeed another retained attribute generally does not determine the variant.
+        tuples = [FlexTuple(kind=1, region="north", a=1),
+                  FlexTuple(kind=2, region="north", b=2)]
+        dependency = ad(["kind"], ["a", "b"])
+        assert _holds_in(tuples, dependency)
+        keep = attrset(["region", "a", "b"])
+        projected = [t.project_existing(keep) for t in tuples]
+        assert propagate_projection([dependency], keep) == set()
+        assert not _holds_in(projected, ad(["region"], ["a", "b"]))
+
+    def test_product_result_satisfies_both(self, left_dependency, left_instance):
+        right_dependency = random_explicit_ad(determinant="rkind", variant_count=2,
+                                              attributes_per_variant=1, seed=9, prefix="w")
+        right_instance = instance_for_dependency(right_dependency, base_attributes=("rid",),
+                                                 count=10, seed=5)
+        product = [l.merge(r) for l in left_instance[:20] for r in right_instance]
+        for dependency in propagate_product([left_dependency.to_ad()], [right_dependency.to_ad()]):
+            assert _holds_in(product, dependency)
+
+    def test_untagged_union_can_break_every_dependency(self):
+        # Same determinant value, different variant shapes in the two inputs.
+        left = [FlexTuple(kind=1, a=1)]
+        right = [FlexTuple(kind=1, b=2)]
+        dependency = ad("kind", ["a", "b"])
+        assert _holds_in(left, dependency) and _holds_in(right, dependency)
+        assert not _holds_in(left + right, dependency)
+        assert propagate_union([dependency], [dependency]) == set()
+
+    def test_tagged_union_restores_dependencies(self):
+        left = [FlexTuple(kind=1, a=1), FlexTuple(kind=2)]
+        right = [FlexTuple(kind=1, b=2), FlexTuple(kind=2, b=1)]
+        dependency = ad("kind", ["a", "b"])
+        tagged_left = [t.extend(tag="left") for t in left]
+        tagged_right = [t.extend(tag="right") for t in right]
+        union = tagged_left + tagged_right
+        for propagated in propagate_tagged_union([dependency], [dependency], "tag"):
+            assert _holds_in(union, propagated)
+
+    def test_difference_preserves_left_dependencies(self, left_dependency, left_instance):
+        removed = set(left_instance[:30])
+        remaining = [t for t in left_instance if t not in removed]
+        for dependency in propagate_difference([left_dependency.to_ad()], []):
+            assert _holds_in(remaining, dependency)
+
+    def test_propagated_set_is_sound_via_discovery(self, left_dependency, left_instance):
+        # Discovery on the projected instance finds at least the propagated ADs.
+        keep = attrset(["kind"]) | left_dependency.rhs
+        projected = [t.project_existing(keep) for t in left_instance]
+        discovered = discover_ads(projected, max_lhs=1)
+        propagated = propagate_projection([left_dependency.to_ad()], keep)
+        for dependency in propagated:
+            assert any(
+                dependency.lhs == found.lhs and dependency.rhs.issubset(found.rhs | dependency.lhs)
+                for found in discovered
+            )
+
+
+class TestExpressionLevelPropagation:
+    """The same rules exposed through Expression.known_dependencies."""
+
+    def test_selection_node(self, employee_database, jobtype_ead):
+        expr = Selection(RelationRef("employees"), Comparison("salary", ">", 0))
+        assert jobtype_ead in expr.known_dependencies(employee_database)
+
+    def test_projection_node_drops_lost_determinants(self, employee_database):
+        expr = Projection(RelationRef("employees"), ["salary", "typing_speed"])
+        assert expr.known_dependencies(employee_database) == set()
+
+    def test_projection_node_projects_rhs(self, employee_database, jobtype_ead):
+        expr = Projection(RelationRef("employees"), ["jobtype", "typing_speed"])
+        deps = expr.known_dependencies(employee_database)
+        assert any(d.lhs == attrset(["jobtype"]) and d.rhs == attrset(["typing_speed"])
+                   for d in deps)
+
+    def test_union_node_loses_everything(self, employee_database):
+        expr = Union(RelationRef("employees"), RelationRef("employees"))
+        assert expr.known_dependencies(employee_database) == set()
+
+    def test_tagged_union_node_keeps_augmented(self, employee_database):
+        expr = Union(Extension(RelationRef("employees"), "tag", 1),
+                     Extension(RelationRef("employees"), "tag", 2))
+        deps = expr.known_dependencies(employee_database)
+        assert any("tag" in d.lhs and "jobtype" in d.lhs for d in deps)
+
+    def test_evaluated_results_satisfy_known_dependencies(self, employee_database):
+        expressions = [
+            Selection(RelationRef("employees"), Comparison("jobtype", "=", "secretary")),
+            Projection(RelationRef("employees"), ["jobtype", "typing_speed", "products"]),
+            Extension(RelationRef("employees"), "tag", 1),
+        ]
+        evaluator = Evaluator(employee_database)
+        for expression in expressions:
+            result = evaluator.evaluate(expression)
+            for dependency in expression.known_dependencies(employee_database):
+                assert dependency.holds_in(result.tuples)

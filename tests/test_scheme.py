@@ -1,0 +1,192 @@
+"""Tests for flexible schemes: construction, DNF unfolding, lazy membership."""
+
+import pytest
+
+from repro.errors import SchemeError
+from repro.model.attributes import attrset
+from repro.model.scheme import FlexibleScheme, UnfoldedScheme, relational_scheme
+
+
+class TestConstruction:
+    def test_relational_scheme(self):
+        scheme = FlexibleScheme.relational(["A", "B", "C"])
+        assert scheme.at_least == scheme.at_most == 3
+        assert scheme.is_relational
+
+    def test_disjoint_union(self):
+        scheme = FlexibleScheme.disjoint_union(["C", "D"])
+        assert (scheme.at_least, scheme.at_most) == (1, 1)
+
+    def test_non_disjoint_union(self):
+        scheme = FlexibleScheme.non_disjoint_union(["E", "F", "G"])
+        assert (scheme.at_least, scheme.at_most) == (1, 3)
+
+    def test_nested_three_tuple_shorthand(self):
+        scheme = FlexibleScheme(2, 2, ["A", (1, 1, ["C", "D"])])
+        assert scheme.attributes == attrset(["A", "C", "D"])
+
+    def test_rejects_empty_components(self):
+        with pytest.raises(SchemeError):
+            FlexibleScheme(0, 0, [])
+
+    def test_rejects_negative_lower_bound(self):
+        with pytest.raises(SchemeError):
+            FlexibleScheme(-1, 1, ["A"])
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(SchemeError):
+            FlexibleScheme(2, 1, ["A", "B"])
+
+    def test_rejects_upper_bound_above_component_count(self):
+        with pytest.raises(SchemeError):
+            FlexibleScheme(1, 3, ["A", "B"])
+
+    def test_rejects_duplicate_attributes_across_components(self):
+        with pytest.raises(SchemeError):
+            FlexibleScheme(2, 2, ["A", FlexibleScheme(1, 1, ["A", "B"])])
+
+    def test_rejects_non_integer_bounds(self):
+        with pytest.raises(SchemeError):
+            FlexibleScheme("1", 1, ["A"])
+
+    def test_attributes_collect_nested(self):
+        scheme = FlexibleScheme(2, 2, ["A", FlexibleScheme(1, 1, ["B", "C"])])
+        assert scheme.attributes == attrset(["A", "B", "C"])
+
+
+class TestExample1:
+    """The scheme and DNF of Example 1 of the paper."""
+
+    def test_dnf_has_exactly_14_combinations(self, example1_scheme, example1_dnf):
+        unfolded = {frozenset(a.name for a in combo) for combo in example1_scheme.dnf()}
+        assert unfolded == example1_dnf
+
+    def test_count_variants(self, example1_scheme):
+        assert example1_scheme.count_variants() == 14
+
+    def test_admits_matches_dnf(self, example1_scheme, example1_dnf):
+        for combo in example1_dnf:
+            assert example1_scheme.admits(combo)
+
+    def test_rejects_combinations_outside_dnf(self, example1_scheme):
+        assert not example1_scheme.admits(["A", "B"])            # no union member
+        assert not example1_scheme.admits(["A", "B", "C", "D"])  # both disjoint variants
+        assert not example1_scheme.admits(["A", "C", "E"])       # missing unconditioned B
+        assert not example1_scheme.admits(["A", "B", "C", "E", "Z"])  # unknown attribute
+
+
+class TestLazyMembership:
+    def test_admits_agrees_with_dnf_on_random_schemes(self):
+        from repro.workloads.generators import random_flexible_scheme
+        from itertools import combinations
+
+        for seed in range(5):
+            scheme = random_flexible_scheme(base_attributes=2, variant_groups=2,
+                                            attributes_per_group=2, seed=seed)
+            dnf = {frozenset(a.name for a in combo) for combo in scheme.dnf()}
+            universe = [a.name for a in scheme.attributes]
+            for size in range(1, len(universe) + 1):
+                for combo in combinations(universe, size):
+                    assert scheme.admits(combo) == (frozenset(combo) in dnf)
+
+    def test_optional_nested_component(self):
+        scheme = FlexibleScheme(3, 3, ["A", "B", FlexibleScheme(0, 2, ["C", "D"])])
+        assert scheme.admits(["A", "B"])
+        assert scheme.admits(["A", "B", "C"])
+        assert scheme.admits(["A", "B", "C", "D"])
+        assert not scheme.admits(["A", "C"])
+
+    def test_dnf_contains_base_combo_for_optional_component(self):
+        scheme = FlexibleScheme(3, 3, ["A", "B", FlexibleScheme(0, 2, ["C", "D"])])
+        combos = {frozenset(a.name for a in c) for c in scheme.dnf()}
+        assert frozenset({"A", "B"}) in combos
+
+    def test_deeply_nested(self):
+        inner = FlexibleScheme(1, 1, ["X", "Y"])
+        middle = FlexibleScheme(1, 2, ["C", inner])
+        scheme = FlexibleScheme(2, 2, ["A", middle])
+        assert scheme.admits(["A", "C"])
+        assert scheme.admits(["A", "X"])
+        assert scheme.admits(["A", "C", "Y"])
+        assert not scheme.admits(["A", "X", "Y"])
+        assert not scheme.admits(["A"])
+
+
+class TestStructuralOperations:
+    def test_project_keeps_requested_attributes(self, example1_scheme):
+        projected = example1_scheme.project(["A", "B", "C", "D"])
+        assert projected.attributes == attrset(["A", "B", "C", "D"])
+        assert projected.admits(["A", "B", "C"])
+
+    def test_project_to_nothing_rejected(self, example1_scheme):
+        with pytest.raises(SchemeError):
+            example1_scheme.project(["Z"])
+
+    def test_extend_relational(self):
+        scheme = relational_scheme(["A", "B"]).extend(["C"])
+        assert scheme.admits(["A", "B", "C"])
+        assert not scheme.admits(["A", "B"])
+
+    def test_extend_rejects_existing_attribute(self):
+        with pytest.raises(SchemeError):
+            relational_scheme(["A"]).extend(["A"])
+
+    def test_extend_variant_scheme(self, example1_scheme):
+        extended = example1_scheme.extend(["tag"])
+        assert extended.admits(["A", "B", "C", "E", "tag"])
+        assert not extended.admits(["A", "B", "C", "E"])
+
+    def test_product_of_disjoint_schemes(self):
+        left = relational_scheme(["A"])
+        right = relational_scheme(["B"])
+        product = left.product(right)
+        assert product.admits(["A", "B"])
+        assert not product.admits(["A"])
+
+    def test_product_rejects_overlap(self):
+        with pytest.raises(SchemeError):
+            relational_scheme(["A"]).product(relational_scheme(["A", "B"]))
+
+    def test_outer_union_disjoint(self):
+        left = relational_scheme(["A"])
+        right = relational_scheme(["B"])
+        union = left.outer_union(right)
+        assert union.admits(["A"]) and union.admits(["B"])
+        assert not union.admits(["A", "B"])
+
+    def test_outer_union_overlapping(self):
+        left = relational_scheme(["A", "B"])
+        right = relational_scheme(["A", "C"])
+        union = left.outer_union(right)
+        assert union.admits(["A", "B"]) and union.admits(["A", "C"])
+        assert not union.admits(["A", "B", "C"])
+
+
+class TestEqualityAndDisplay:
+    def test_structural_equality(self):
+        first = FlexibleScheme(2, 2, ["A", FlexibleScheme(1, 1, ["B", "C"])])
+        second = FlexibleScheme(2, 2, ["A", FlexibleScheme(1, 1, ["C", "B"])])
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_inequality_on_bounds(self):
+        assert FlexibleScheme(1, 2, ["A", "B"]) != FlexibleScheme(2, 2, ["A", "B"])
+
+    def test_repr_shows_three_tuple(self):
+        assert repr(relational_scheme(["A", "B"])).startswith("<2, 2, {")
+
+
+class TestUnfoldedScheme:
+    def test_membership(self):
+        scheme = UnfoldedScheme({frozenset(attrset(["A", "B"]).as_frozenset()),
+                                 frozenset(attrset(["A", "C"]).as_frozenset())})
+        assert scheme.admits(["A", "B"]) and scheme.admits(["A", "C"])
+        assert not scheme.admits(["A"])
+
+    def test_count_variants(self):
+        scheme = UnfoldedScheme({frozenset(attrset(["A"]).as_frozenset())})
+        assert scheme.count_variants() == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemeError):
+            UnfoldedScheme(set())

@@ -1,0 +1,151 @@
+"""Tests for JSON serialization of schemes, domains, dependencies and databases."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.dependencies import ad, ead, fd
+from repro.engine import Database, dump_database, dumps_database, load_database, loads_database
+from repro.engine.serialization import (
+    SerializationError,
+    database_from_dict,
+    database_to_dict,
+    dependency_from_dict,
+    dependency_to_dict,
+    domain_from_dict,
+    domain_to_dict,
+    scheme_from_dict,
+    scheme_to_dict,
+)
+from repro.errors import DependencyViolation
+from repro.model.domains import (
+    AnyDomain,
+    BoolDomain,
+    EnumDomain,
+    FloatDomain,
+    IntDomain,
+    RangeDomain,
+    StringDomain,
+)
+from repro.model.scheme import FlexibleScheme, UnfoldedScheme
+from repro.model.attributes import attrset
+from repro.workloads.employees import employee_definition, generate_employees
+
+
+class TestSchemeRoundTrip:
+    def test_relational_scheme(self):
+        scheme = FlexibleScheme.relational(["a", "b"])
+        assert scheme_from_dict(scheme_to_dict(scheme)) == scheme
+
+    def test_nested_scheme(self, example1_scheme):
+        restored = scheme_from_dict(scheme_to_dict(example1_scheme))
+        assert restored == example1_scheme
+        assert restored.dnf() == example1_scheme.dnf()
+
+    def test_unfolded_scheme(self):
+        scheme = UnfoldedScheme({frozenset(attrset(["a", "b"]).as_frozenset()),
+                                 frozenset(attrset(["a", "c"]).as_frozenset())})
+        restored = scheme_from_dict(scheme_to_dict(scheme))
+        assert restored.dnf() == scheme.dnf()
+
+    def test_document_is_json_serializable(self, example1_scheme):
+        json.dumps(scheme_to_dict(example1_scheme))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            scheme_from_dict({"kind": "mystery"})
+
+
+class TestDomainRoundTrip:
+    @pytest.mark.parametrize("domain", [
+        AnyDomain(), IntDomain(), FloatDomain(), BoolDomain(),
+        StringDomain(), StringDomain(max_length=12),
+        EnumDomain(["a", "b", "c"], name="letters"),
+        RangeDomain(0, 10, integral=True),
+    ])
+    def test_round_trip_preserves_membership(self, domain):
+        restored = domain_from_dict(domain_to_dict(domain))
+        probes = [0, 5, 10, 11, -1, "a", "zz", "x" * 20, True, 3.5]
+        for probe in probes:
+            assert domain.contains(probe) == restored.contains(probe)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            domain_from_dict({"kind": "mystery"})
+
+
+class TestDependencyRoundTrip:
+    def test_ad(self):
+        dependency = ad(["a", "b"], ["c"])
+        assert dependency_from_dict(dependency_to_dict(dependency)) == dependency
+
+    def test_fd(self):
+        dependency = fd(["a"], ["b", "c"])
+        assert dependency_from_dict(dependency_to_dict(dependency)) == dependency
+
+    def test_explicit_ad(self, jobtype_ead):
+        restored = dependency_from_dict(dependency_to_dict(jobtype_ead))
+        assert restored == jobtype_ead
+        assert {v.name for v in restored.variants} == {v.name for v in jobtype_ead.variants}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            dependency_from_dict({"kind": "mystery"})
+
+
+class TestDatabaseRoundTrip:
+    def _loaded_database(self):
+        database = Database()
+        definition = employee_definition()
+        table = database.create_table("employees", definition.scheme,
+                                      domains=definition.domains, key=definition.key,
+                                      dependencies=definition.dependencies)
+        table.insert_many(generate_employees(30, seed=61))
+        return database
+
+    def test_round_trip_preserves_tuples(self):
+        database = self._loaded_database()
+        restored = loads_database(dumps_database(database))
+        assert restored.table("employees").tuples == database.table("employees").tuples
+
+    def test_round_trip_preserves_constraints(self):
+        database = self._loaded_database()
+        restored = loads_database(dumps_database(database))
+        with pytest.raises(DependencyViolation):
+            restored.insert("employees", {"emp_id": 9999, "name": "x", "salary": 1.0,
+                                          "jobtype": "salesman", "typing_speed": 1,
+                                          "foreign_languages": "fr"})
+
+    def test_round_trip_preserves_catalog_metadata(self):
+        database = self._loaded_database()
+        restored = loads_database(dumps_database(database))
+        original = database.catalog.definition("employees")
+        rebuilt = restored.catalog.definition("employees")
+        assert rebuilt.key == original.key
+        assert rebuilt.scheme == original.scheme
+        assert len(rebuilt.dependencies) == len(original.dependencies)
+
+    def test_file_round_trip(self, tmp_path):
+        database = self._loaded_database()
+        path = tmp_path / "db.json"
+        with open(path, "w") as handle:
+            dump_database(database, handle)
+        with open(path) as handle:
+            restored = load_database(handle)
+        assert restored.table("employees").tuples == database.table("employees").tuples
+
+    def test_schema_only_dump(self):
+        database = self._loaded_database()
+        document = database_to_dict(database, include_data=False)
+        assert "tuples" not in document["tables"][0]
+        restored = database_from_dict(document)
+        assert len(restored.table("employees")) == 0
+
+    def test_unsupported_version_rejected(self):
+        with pytest.raises(SerializationError):
+            database_from_dict({"format_version": 999, "tables": []})
+
+    def test_dump_is_deterministic(self):
+        database = self._loaded_database()
+        assert dumps_database(database) == dumps_database(database)

@@ -1,0 +1,131 @@
+"""Tests for AD-derived subtyping (Section 3.2, Example 3)."""
+
+import pytest
+
+from repro.baselines.record_subtyping import SubtypeLattice, accepted_supertypes, common_supertypes
+from repro.core.dependencies import ead
+from repro.core.subtyping import candidate_supertypes, derive_subtype_family, lost_connection
+from repro.errors import DependencyError
+from repro.model.attributes import attrset
+from repro.model.domains import EnumDomain, FloatDomain, IntDomain, StringDomain
+from repro.types import RecordType, is_record_subtype
+from repro.workloads.employees import employee_dependency, employee_domains, employee_scheme
+
+
+@pytest.fixture
+def employee_family():
+    return derive_subtype_family(employee_scheme().attributes, employee_dependency(),
+                                 employee_domains(), supertype_name="employee_type")
+
+
+class TestFamilyDerivation:
+    def test_supertype_has_non_variant_attributes(self, employee_family):
+        assert employee_family.supertype.attributes == attrset(
+            ["emp_id", "name", "salary", "jobtype"]
+        )
+
+    def test_supertype_keeps_unrestricted_jobtype_domain(self, employee_family):
+        domain = employee_family.supertype.domain_of("jobtype")
+        assert domain.contains("secretary") and domain.contains("salesman")
+
+    def test_one_subtype_per_variant(self, employee_family):
+        assert employee_family.subtype_names() == ["salesman", "secretary", "software engineer"]
+
+    def test_subtype_attributes_follow_example3(self, employee_family):
+        secretary = employee_family.subtype("secretary")
+        assert secretary.attributes == attrset(
+            ["emp_id", "name", "salary", "jobtype", "typing_speed", "foreign_languages"]
+        )
+        salesman = employee_family.subtype("salesman")
+        assert "sales_commission" in salesman.attributes and "products" in salesman.attributes
+
+    def test_subtype_restricts_determinant_domain(self, employee_family):
+        secretary = employee_family.subtype("secretary")
+        domain = secretary.domain_of("jobtype")
+        assert domain.contains("secretary") and not domain.contains("salesman")
+
+    def test_subtypes_are_record_subtypes_of_the_supertype(self, employee_family):
+        for name in employee_family.subtype_names():
+            assert is_record_subtype(employee_family.subtype(name), employee_family.supertype)
+
+    def test_unknown_subtype_rejected(self, employee_family):
+        with pytest.raises(Exception):
+            employee_family.subtype("pilot")
+
+    def test_determinant_must_be_in_scheme(self):
+        dependency = ead(["missing"], ["a"], [({"missing": 1}, ["a"])])
+        with pytest.raises(DependencyError):
+            derive_subtype_family(["a", "b"], dependency)
+
+    def test_scheme_object_accepted(self):
+        family = derive_subtype_family(employee_scheme(), employee_dependency())
+        assert family.supertype.attributes == attrset(["emp_id", "name", "salary", "jobtype"])
+
+    def test_variant_names_default_when_missing(self):
+        dependency = ead(["k"], ["a", "b"], [({"k": 1}, ["a"]), ({"k": 2}, ["b"])])
+        family = derive_subtype_family(["k", "x", "a", "b"], dependency)
+        assert family.subtype_names() == ["variant-1", "variant-2"]
+
+
+class TestStrongerSubtypingNotion:
+    """The comparison of Section 3.2: ADs vs the traditional record-subtyping rule."""
+
+    def test_full_supertype_is_valid_under_both(self, employee_family):
+        assert employee_family.classify_candidate(employee_family.supertype) == "valid"
+
+    def test_dropping_jobtype_is_lost_connection(self, employee_family):
+        candidate = RecordType("no_jobtype", {"salary": FloatDomain()})
+        assert employee_family.record_rule_accepts(candidate)
+        assert not employee_family.ad_rule_accepts(candidate)
+        assert employee_family.classify_candidate(candidate) == "lost-connection"
+        assert lost_connection(candidate, employee_family)
+
+    def test_keeping_jobtype_is_valid(self, employee_family):
+        candidate = RecordType("with_jobtype", {
+            "salary": FloatDomain(),
+            "jobtype": EnumDomain(["secretary", "software engineer", "salesman"]),
+        })
+        assert employee_family.classify_candidate(candidate) == "valid"
+        assert not lost_connection(candidate, employee_family)
+
+    def test_incompatible_candidate_rejected_by_both(self, employee_family):
+        candidate = RecordType("wrong", {"salary": FloatDomain(), "zip_code": IntDomain()})
+        assert employee_family.classify_candidate(candidate) == "rejected"
+
+    def test_candidate_supertypes_enumeration(self, employee_family):
+        candidates = candidate_supertypes(employee_family)
+        # every non-empty subset of the 4 supertype fields
+        assert len(candidates) == 15
+        classified = {c.name: employee_family.classify_candidate(c) for c in candidates}
+        lost = [name for name, kind in classified.items() if kind == "lost-connection"]
+        valid = [name for name, kind in classified.items() if kind == "valid"]
+        assert len(valid) == 8          # those containing jobtype
+        assert len(lost) == 7           # those without jobtype
+        assert not [name for name, kind in classified.items() if kind == "rejected"]
+
+    def test_record_rule_accepts_strictly_more(self, employee_family):
+        candidates = candidate_supertypes(employee_family)
+        subtypes = [employee_family.subtype(name) for name in employee_family.subtype_names()]
+        traditional = accepted_supertypes(candidates, subtypes)
+        ad_based = [c for c in candidates if employee_family.ad_rule_accepts(c)]
+        assert set(c.name for c in ad_based) < set(c.name for c in traditional)
+
+
+class TestBaselineLattice:
+    def test_lattice_edges(self, employee_family):
+        types = [employee_family.supertype] + [
+            employee_family.subtype(name) for name in employee_family.subtype_names()
+        ]
+        lattice = SubtypeLattice(types)
+        for name in employee_family.subtype_names():
+            assert lattice.is_subtype(name, "employee_type")
+            assert not lattice.is_subtype("employee_type", name)
+        assert set(lattice.subtypes_of("employee_type")) == set(employee_family.subtype_names())
+
+    def test_common_supertypes_only_accept_valid_ones(self, employee_family):
+        subtypes = [employee_family.subtype(name) for name in employee_family.subtype_names()]
+        supertypes = common_supertypes(subtypes)
+        for candidate in supertypes:
+            assert all(is_record_subtype(subtype, candidate) for subtype in subtypes)
+        # the salary-only candidate (the paper's problematic supertype) is among them
+        assert any(candidate.attributes == attrset(["salary"]) for candidate in supertypes)

@@ -1,0 +1,94 @@
+"""Tests for table snapshots and database transactions."""
+
+import pytest
+
+from repro.engine import Database, Table
+from repro.errors import DependencyViolation, KeyViolation
+from repro.workloads.employees import employee_definition, generate_employees
+
+
+@pytest.fixture
+def database():
+    database = Database()
+    definition = employee_definition()
+    table = database.create_table("employees", definition.scheme, domains=definition.domains,
+                                  key=definition.key, dependencies=definition.dependencies)
+    table.insert_many(generate_employees(10, seed=71))
+    return database
+
+
+def _valid_employee(emp_id):
+    return {"emp_id": emp_id, "name": "new", "salary": 3000.0, "jobtype": "secretary",
+            "typing_speed": 70, "foreign_languages": "english"}
+
+
+def _invalid_employee(emp_id):
+    return {"emp_id": emp_id, "name": "bad", "salary": 3000.0, "jobtype": "salesman",
+            "typing_speed": 70, "foreign_languages": "english"}
+
+
+class TestTableSnapshots:
+    def test_snapshot_restore_round_trip(self, database):
+        table = database.table("employees")
+        before = table.snapshot()
+        table.insert(_valid_employee(100))
+        assert len(table) == 11
+        table.restore(before)
+        assert len(table) == 10
+
+    def test_restore_rebuilds_indexes(self, database):
+        table = database.table("employees")
+        before = table.snapshot()
+        table.insert(_valid_employee(100))
+        table.restore(before)
+        # key index no longer contains emp_id 100, so re-inserting must succeed
+        table.insert(_valid_employee(100))
+        # and duplicates are still detected after the rebuild
+        with pytest.raises(KeyViolation):
+            table.insert({**_valid_employee(100), "name": "other"})
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self, database):
+        with database.transaction():
+            database.insert("employees", _valid_employee(200))
+            database.insert("employees", _valid_employee(201))
+        assert len(database.table("employees")) == 12
+
+    def test_rollback_on_violation(self, database):
+        with pytest.raises(DependencyViolation):
+            with database.transaction():
+                database.insert("employees", _valid_employee(300))
+                database.insert("employees", _invalid_employee(301))
+        assert len(database.table("employees")) == 10
+        assert not any(t["emp_id"] == 300 for t in database.table("employees"))
+
+    def test_rollback_on_any_exception(self, database):
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.insert("employees", _valid_employee(400))
+                raise RuntimeError("abort")
+        assert len(database.table("employees")) == 10
+
+    def test_rollback_covers_updates_and_deletes(self, database):
+        table = database.table("employees")
+        victim = next(iter(table))
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                table.delete(victim)
+                raise RuntimeError("abort")
+        assert victim in table
+
+    def test_nested_use_is_sequential(self, database):
+        with database.transaction():
+            database.insert("employees", _valid_employee(500))
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.insert("employees", _valid_employee(501))
+                raise RuntimeError("abort")
+        ids = {t["emp_id"] for t in database.table("employees")}
+        assert 500 in ids and 501 not in ids
+
+    def test_transaction_returns_database(self, database):
+        with database.transaction() as handle:
+            assert handle is database

@@ -1,0 +1,128 @@
+"""Tests for heterogeneous tuples."""
+
+import pytest
+
+from repro.errors import TupleError
+from repro.model.attributes import attrset
+from repro.model.tuples import FlexTuple
+
+
+class TestConstruction:
+    def test_from_kwargs(self):
+        t = FlexTuple(jobtype="secretary", salary=4000.0)
+        assert t["jobtype"] == "secretary" and t["salary"] == 4000.0
+
+    def test_from_mapping(self):
+        t = FlexTuple({"a": 1, "b": 2})
+        assert t["a"] == 1 and t["b"] == 2
+
+    def test_mixed_construction(self):
+        t = FlexTuple({"a": 1}, b=2)
+        assert t["a"] == 1 and t["b"] == 2
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(TupleError):
+            FlexTuple({"a": 1}, a=2)
+
+    def test_empty_tuple(self):
+        t = FlexTuple()
+        assert len(t) == 0 and not list(t)
+
+
+class TestPaperInterface:
+    def test_attr_t(self):
+        t = FlexTuple(a=1, b=2)
+        assert t.attributes == attrset(["a", "b"])
+
+    def test_is_defined_on(self):
+        t = FlexTuple(a=1, b=2)
+        assert t.is_defined_on(["a"]) and t.is_defined_on(["a", "b"])
+        assert not t.is_defined_on(["a", "c"])
+
+    def test_projection(self):
+        t = FlexTuple(a=1, b=2, c=3)
+        assert t.project(["a", "b"]) == FlexTuple(a=1, b=2)
+
+    def test_projection_requires_presence(self):
+        with pytest.raises(TupleError):
+            FlexTuple(a=1).project(["a", "z"])
+
+    def test_project_existing(self):
+        t = FlexTuple(a=1, b=2)
+        assert t.project_existing(["a", "z"]) == FlexTuple(a=1)
+
+    def test_agrees_with(self):
+        t1 = FlexTuple(a=1, b=2)
+        t2 = FlexTuple(a=1, c=3)
+        assert t1.agrees_with(t2, ["a"])
+        assert not t1.agrees_with(t2, ["b"])  # t2 lacks b
+        assert not t1.agrees_with(FlexTuple(a=9), ["a"])
+
+    def test_missing_attribute_access_raises(self):
+        with pytest.raises(TupleError):
+            FlexTuple(a=1)["z"]
+
+    def test_get_with_default(self):
+        assert FlexTuple(a=1).get("z", 42) == 42
+
+
+class TestDerivation:
+    def test_extend(self):
+        t = FlexTuple(a=1).extend(b=2)
+        assert t == FlexTuple(a=1, b=2)
+
+    def test_extend_existing_attribute_rejected(self):
+        with pytest.raises(TupleError):
+            FlexTuple(a=1).extend(a=2)
+
+    def test_replace(self):
+        assert FlexTuple(a=1).replace(a=2) == FlexTuple(a=2)
+
+    def test_replace_missing_attribute_rejected(self):
+        with pytest.raises(TupleError):
+            FlexTuple(a=1).replace(b=2)
+
+    def test_remove(self):
+        assert FlexTuple(a=1, b=2).remove(["b"]) == FlexTuple(a=1)
+
+    def test_merge_disjoint(self):
+        assert FlexTuple(a=1).merge(FlexTuple(b=2)) == FlexTuple(a=1, b=2)
+
+    def test_merge_agreeing_overlap(self):
+        assert FlexTuple(a=1, b=2).merge(FlexTuple(b=2, c=3)) == FlexTuple(a=1, b=2, c=3)
+
+    def test_merge_conflicting_overlap_rejected(self):
+        with pytest.raises(TupleError):
+            FlexTuple(a=1).merge(FlexTuple(a=2))
+
+    def test_original_is_untouched(self):
+        t = FlexTuple(a=1)
+        t.extend(b=2)
+        assert t == FlexTuple(a=1)
+
+
+class TestEqualityAndHashing:
+    def test_equality_is_structural(self):
+        assert FlexTuple(a=1, b=2) == FlexTuple(b=2, a=1)
+
+    def test_equality_with_mapping(self):
+        assert FlexTuple(a=1) == {"a": 1}
+
+    def test_inequality_on_values(self):
+        assert FlexTuple(a=1) != FlexTuple(a=2)
+
+    def test_inequality_on_attributes(self):
+        assert FlexTuple(a=1) != FlexTuple(a=1, b=2)
+
+    def test_usable_in_sets(self):
+        assert len({FlexTuple(a=1), FlexTuple(a=1), FlexTuple(a=2)}) == 2
+
+    def test_items_sorted(self):
+        assert [name for name, _ in FlexTuple(b=2, a=1).items()] == ["a", "b"]
+
+    def test_as_dict_roundtrip(self):
+        original = {"a": 1, "b": "x"}
+        assert FlexTuple(original).as_dict() == original
+
+    def test_contains(self):
+        assert "a" in FlexTuple(a=1) and "z" not in FlexTuple(a=1)

@@ -1,0 +1,200 @@
+"""Tests for record types, the traditional subtyping rule, type guards, type checking."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.model.attributes import attrset
+from repro.model.domains import AnyDomain, EnumDomain, FloatDomain, IntDomain, RangeDomain, StringDomain
+from repro.model.tuples import FlexTuple
+from repro.types import (
+    RecordType,
+    TypeChecker,
+    TypeGuard,
+    check_tuple_against_type,
+    conjunction_of_guards,
+    domain_subsumes,
+    is_record_subtype,
+)
+from repro.types.type_guards import guards_for_attributes
+from repro.workloads.employees import employee_dependency, employee_domains, employee_scheme
+
+
+class TestDomainSubsumption:
+    def test_any_subsumes_everything(self):
+        assert domain_subsumes(AnyDomain(), IntDomain())
+        assert domain_subsumes(AnyDomain(), EnumDomain(["a"]))
+
+    def test_enum_subset(self):
+        full = EnumDomain(["a", "b", "c"])
+        restricted = EnumDomain(["a"])
+        assert domain_subsumes(full, restricted)
+        assert not domain_subsumes(restricted, full)
+
+    def test_range_containment(self):
+        assert domain_subsumes(RangeDomain(0, 100), RangeDomain(10, 20))
+        assert not domain_subsumes(RangeDomain(10, 20), RangeDomain(0, 100))
+
+    def test_enum_inside_infinite_domain(self):
+        assert domain_subsumes(FloatDomain(), EnumDomain([1.0, 2.5]))
+        assert not domain_subsumes(IntDomain(), EnumDomain(["x"]))
+
+    def test_same_class_unparameterized(self):
+        assert domain_subsumes(IntDomain(), IntDomain())
+
+    def test_identity(self):
+        domain = StringDomain(max_length=5)
+        assert domain_subsumes(domain, domain)
+
+
+class TestRecordType:
+    def test_field_access(self):
+        record = RecordType("employee", {"salary": FloatDomain()})
+        assert record.domain_of("salary").name == "float"
+        assert "salary" in record and "zip" not in record
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeCheckError):
+            RecordType("t", {"a": IntDomain()}).domain_of("b")
+
+    def test_attributes(self):
+        record = RecordType("t", {"a": IntDomain(), "b": IntDomain()})
+        assert record.attributes == attrset(["a", "b"])
+
+    def test_accepts_width(self):
+        record = RecordType("t", {"a": IntDomain()})
+        assert record.accepts(FlexTuple(a=1, extra="x"))
+        assert not record.accepts(FlexTuple(a=1, extra="x"), exact=True)
+        assert record.accepts(FlexTuple(a=1), exact=True)
+
+    def test_accepts_checks_domains(self):
+        record = RecordType("t", {"a": IntDomain()})
+        assert not record.accepts(FlexTuple(a="not an int"))
+
+    def test_extend_and_restrict(self):
+        base = RecordType("base", {"k": EnumDomain(["x", "y"]), "a": IntDomain()})
+        extended = base.extend("sub", {"extra": IntDomain()})
+        assert "extra" in extended
+        restricted = extended.restrict_field("sub2", "k", ["x"])
+        assert not restricted.domain_of("k").contains("y")
+
+    def test_extend_rejects_existing_field(self):
+        with pytest.raises(TypeCheckError):
+            RecordType("t", {"a": IntDomain()}).extend("t2", {"a": IntDomain()})
+
+    def test_project(self):
+        record = RecordType("t", {"a": IntDomain(), "b": IntDomain()})
+        assert record.project("p", ["a"]).attributes == attrset(["a"])
+
+    def test_project_unknown_field_rejected(self):
+        with pytest.raises(TypeCheckError):
+            RecordType("t", {"a": IntDomain()}).project("p", ["z"])
+
+    def test_shorthand_enum_fields(self):
+        record = RecordType("t", {"k": ["a", "b"]})
+        assert record.domain_of("k").contains("a")
+
+    def test_structural_equality(self):
+        first = RecordType("x", {"a": IntDomain()})
+        second = RecordType("y", {"a": IntDomain()})
+        assert first == second
+
+
+class TestRecordSubtypingRule:
+    def test_width_subtyping(self):
+        super_type = RecordType("super", {"a": IntDomain()})
+        sub_type = RecordType("sub", {"a": IntDomain(), "b": IntDomain()})
+        assert is_record_subtype(sub_type, super_type)
+        assert not is_record_subtype(super_type, sub_type)
+
+    def test_depth_subtyping(self):
+        super_type = RecordType("super", {"k": EnumDomain(["a", "b"])})
+        sub_type = RecordType("sub", {"k": EnumDomain(["a"])})
+        assert is_record_subtype(sub_type, super_type)
+        assert not is_record_subtype(super_type, sub_type)
+
+    def test_combined_width_and_depth(self):
+        employee = RecordType("employee", {"salary": FloatDomain(),
+                                           "jobtype": EnumDomain(["s", "e"])})
+        secretary = RecordType("secretary", {"salary": FloatDomain(),
+                                             "jobtype": EnumDomain(["s"]),
+                                             "typing_speed": IntDomain()})
+        assert is_record_subtype(secretary, employee)
+
+    def test_reflexive(self):
+        record = RecordType("t", {"a": IntDomain()})
+        assert is_record_subtype(record, record)
+
+    def test_incompatible_domains(self):
+        first = RecordType("a", {"k": EnumDomain(["x"])})
+        second = RecordType("b", {"k": EnumDomain(["y"])})
+        assert not is_record_subtype(first, second)
+
+
+class TestTypeGuards:
+    def test_check(self):
+        guard = TypeGuard(["typing_speed"])
+        assert guard(FlexTuple(typing_speed=90))
+        assert not guard(FlexTuple(salary=1.0))
+
+    def test_trivial_guard(self):
+        assert TypeGuard([]).is_trivial()
+        assert TypeGuard([])(FlexTuple(a=1))
+
+    def test_union_and_conjunction(self):
+        combined = TypeGuard(["a"]).union(TypeGuard(["b"]))
+        assert combined.attributes == attrset(["a", "b"])
+        assert conjunction_of_guards([TypeGuard(["a"]), TypeGuard(["b"])]) == combined
+
+    def test_guards_for_attributes(self):
+        guards = guards_for_attributes(["a", "b"])
+        assert len(guards) == 2 and all(len(g.attributes) == 1 for g in guards)
+
+    def test_equality_and_hash(self):
+        assert TypeGuard(["a"]) == TypeGuard(["a"])
+        assert len({TypeGuard(["a"]), TypeGuard(["a"])}) == 1
+
+
+class TestTypeChecker:
+    def test_check_tuple_against_type(self):
+        record = RecordType("t", {"a": IntDomain()})
+        check_tuple_against_type(FlexTuple(a=1), record)
+        with pytest.raises(TypeCheckError):
+            check_tuple_against_type(FlexTuple(b=1), record)
+        with pytest.raises(TypeCheckError):
+            check_tuple_against_type(FlexTuple(a="x"), record)
+        with pytest.raises(TypeCheckError):
+            check_tuple_against_type(FlexTuple(a=1, b=2), record, exact=True)
+
+    def test_scheme_only_accepts_wrong_variant(self):
+        # The paper's point: the scheme cannot reject the salesman-with-typing-speed tuple.
+        checker = TypeChecker(scheme=employee_scheme(), check_dependencies=False)
+        bad = FlexTuple(emp_id=1, name="x", salary=1.0, jobtype="salesman",
+                        typing_speed=90, foreign_languages="fr")
+        assert checker.accepts(bad)
+
+    def test_dependency_level_rejects_wrong_variant(self):
+        checker = TypeChecker(scheme=employee_scheme(), dependencies=[employee_dependency()])
+        bad = FlexTuple(emp_id=1, name="x", salary=1.0, jobtype="salesman",
+                        typing_speed=90, foreign_languages="fr")
+        report = checker.report(bad)
+        assert report.scheme_ok and not report.dependencies_ok and not report.ok
+
+    def test_domain_level(self):
+        checker = TypeChecker(scheme=employee_scheme(), domains=employee_domains())
+        bad = FlexTuple(emp_id="not an int", name="x", salary=1.0, jobtype="secretary",
+                        typing_speed=1, foreign_languages="fr")
+        report = checker.report(bad)
+        assert report.domains_ok is False
+
+    def test_check_raises_with_message(self):
+        checker = TypeChecker(scheme=employee_scheme(), dependencies=[employee_dependency()])
+        good = FlexTuple(emp_id=1, name="x", salary=1.0, jobtype="secretary",
+                         typing_speed=1, foreign_languages="fr")
+        assert checker.check(good) == good
+        with pytest.raises(TypeCheckError):
+            checker.check(FlexTuple(emp_id=1, name="x", salary=1.0, jobtype="secretary"))
+
+    def test_levels_can_be_disabled(self):
+        checker = TypeChecker(scheme=employee_scheme(), dependencies=[employee_dependency()],
+                              check_scheme=False, check_dependencies=False)
+        assert checker.accepts(FlexTuple(unknown="attribute"))

@@ -1,0 +1,127 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.core.inference import discover_explicit_ad
+from repro.engine import Table
+from repro.model.tuples import FlexTuple
+from repro.workloads import (
+    address_definition,
+    address_dependency,
+    address_scheme,
+    employee_definition,
+    employee_dependency,
+    employee_scheme,
+    generate_addresses,
+    generate_employees,
+    instance_for_dependency,
+    random_explicit_ad,
+    random_flexible_scheme,
+    random_instance,
+)
+
+
+class TestEmployeeWorkload:
+    def test_valid_generation_conforms(self):
+        dependency = employee_dependency()
+        scheme = employee_scheme()
+        for values in generate_employees(100, seed=1):
+            tup = FlexTuple(values)
+            assert scheme.admits(tup.attributes)
+            assert dependency.check_tuple(tup)
+
+    def test_invalid_fraction_violates_dependency_but_not_scheme(self):
+        dependency = employee_dependency()
+        scheme = employee_scheme()
+        invalid = 0
+        for values in generate_employees(100, invalid_fraction=1.0, seed=2):
+            tup = FlexTuple(values)
+            assert scheme.admits(tup.attributes)
+            if not dependency.check_tuple(tup):
+                invalid += 1
+        assert invalid == 100
+
+    def test_partial_invalid_fraction(self):
+        dependency = employee_dependency()
+        tuples = [FlexTuple(v) for v in generate_employees(200, invalid_fraction=0.3, seed=3)]
+        invalid = sum(1 for t in tuples if not dependency.check_tuple(t))
+        assert 30 <= invalid <= 90
+
+    def test_generation_is_deterministic(self):
+        assert generate_employees(10, seed=4) == generate_employees(10, seed=4)
+        assert generate_employees(10, seed=4) != generate_employees(10, seed=5)
+
+    def test_ids_are_unique(self):
+        values = generate_employees(50, seed=6, start_id=100)
+        ids = [v["emp_id"] for v in values]
+        assert len(set(ids)) == 50 and min(ids) == 100
+
+    def test_invalid_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            generate_employees(1, invalid_fraction=2.0)
+
+    def test_definition_loads_into_engine(self):
+        table = Table(employee_definition())
+        table.insert_many(generate_employees(20, seed=7))
+        assert len(table) == 20
+
+
+class TestAddressWorkload:
+    def test_addresses_conform_to_scheme_and_dependency(self):
+        scheme = address_scheme()
+        dependency = address_dependency()
+        for values in generate_addresses(100, seed=8):
+            tup = FlexTuple(values)
+            assert scheme.admits(tup.attributes)
+            assert dependency.check_tuple(tup)
+
+    def test_every_structural_variant_occurs(self):
+        tuples = [FlexTuple(v) for v in generate_addresses(200, seed=9)]
+        assert any("po_box" in t for t in tuples)
+        assert any("street" in t and "house_number" in t for t in tuples)
+        assert any("street" in t and "house_number" not in t for t in tuples)
+        assert any("email" in t for t in tuples)
+        assert any("fax_number" in t for t in tuples)
+
+    def test_definition_loads_into_engine(self):
+        table = Table(address_definition())
+        table.insert_many(generate_addresses(30, seed=10))
+        assert len(table) == 30
+
+
+class TestRandomGenerators:
+    def test_random_scheme_is_wellformed(self):
+        for seed in range(4):
+            scheme = random_flexible_scheme(seed=seed)
+            assert scheme.count_variants() >= 1
+            for combo in scheme.dnf():
+                assert scheme.admits(combo)
+
+    def test_random_ead_structure(self):
+        dependency = random_explicit_ad(variant_count=4, attributes_per_variant=2, seed=0)
+        assert len(dependency.variants) == 4
+        assert dependency.is_disjoint()
+
+    def test_random_ead_with_shared_attributes_overlaps(self):
+        dependency = random_explicit_ad(variant_count=3, attributes_per_variant=2,
+                                        shared_attributes=1, seed=0)
+        assert not dependency.is_disjoint()
+
+    def test_random_instance_respects_scheme(self):
+        scheme = random_flexible_scheme(seed=2)
+        for tup in random_instance(scheme, count=50, seed=3):
+            assert scheme.admits(tup.attributes)
+
+    def test_instance_for_dependency_valid(self):
+        dependency = random_explicit_ad(seed=4)
+        tuples = instance_for_dependency(dependency, count=60, seed=5)
+        assert all(dependency.check_tuple(t) for t in tuples)
+        # the declared dependency is discoverable from the generated instance
+        reconstructed = discover_explicit_ad(tuples, dependency.lhs, dependency.rhs)
+        assert {frozenset(v.attributes.names) for v in reconstructed.variants} <= \
+               {frozenset(v.attributes.names) for v in dependency.variants}
+
+    def test_instance_for_dependency_invalid_fraction(self):
+        dependency = random_explicit_ad(seed=6)
+        tuples = instance_for_dependency(dependency, count=100, invalid_fraction=1.0, seed=7)
+        assert any(not dependency.check_tuple(t) for t in tuples)
