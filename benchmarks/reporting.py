@@ -1,10 +1,47 @@
-"""Reporting helper shared by the experiment benchmarks."""
+"""Reporting helpers shared by the experiment benchmarks.
+
+Besides the human-readable aligned tables, benchmarks can emit machine-readable
+JSON so the performance trajectory is tracked across PRs: pass ``json_name`` to
+:func:`print_report` (or call :func:`emit_json` directly) and a ``BENCH_<name>.json``
+file is written.  The output directory defaults to ``benchmarks/results/`` next to
+this file and can be overridden with the ``BENCH_OUTPUT_DIR`` environment variable.
+"""
+
+import json
+import os
+
+#: environment variable overriding where BENCH_*.json files are written
+OUTPUT_DIR_ENV = "BENCH_OUTPUT_DIR"
 
 
-def print_report(title, rows):
-    """Print a small aligned table (visible with ``pytest -s`` and in captured output)."""
+def output_dir():
+    """The directory BENCH_*.json files are written to (created on demand)."""
+    directory = os.environ.get(OUTPUT_DIR_ENV)
+    if not directory:
+        directory = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+    os.makedirs(directory, exist_ok=True)
+    return directory
+
+
+def emit_json(name, payload):
+    """Write ``payload`` to ``BENCH_<name>.json``; returns the file path."""
+    path = os.path.join(output_dir(), "BENCH_{}.json".format(name))
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path
+
+
+def print_report(title, rows, json_name=None):
+    """Print a small aligned table (visible with ``pytest -s`` and in captured output).
+
+    With ``json_name`` the same rows are also emitted as ``BENCH_<json_name>.json``.
+    """
     print()
     print("== {} ==".format(title))
+    if json_name is not None:
+        path = emit_json(json_name, {"title": title, "rows": rows})
+        print("  (json: {})".format(path))
     if not rows:
         return
     headers = list(rows[0].keys())

@@ -16,6 +16,9 @@ The package is organized in layers:
 * :mod:`repro.algebra`   — the query algebra and its evaluator;
 * :mod:`repro.optimizer` — AD-driven query rewrites (redundant type guards,
   excluded variants) and a small planner;
+* :mod:`repro.exec`      — the physical execution engine: volcano/batch operators
+  (index-aware scans, hash joins with guard-aware partitioning), a physical
+  planner lowering rewritten expressions, and a plan cache;
 * :mod:`repro.engine`    — an in-memory database with catalog, keys, indexes and
   dependency enforcement on DML;
 * :mod:`repro.er`        — enhanced-ER specializations, their mapping onto flexible
@@ -54,6 +57,13 @@ from repro.core import (
     semantically_implies,
 )
 from repro.engine import Database, Table, TableDefinition
+from repro.exec import (
+    ExecutionContext,
+    PhysicalExecutor,
+    PhysicalPlan,
+    PhysicalPlanner,
+    PlanCache,
+)
 from repro.types import RecordType, TypeGuard, is_record_subtype
 
 __version__ = "1.0.0"
@@ -80,6 +90,11 @@ __all__ = [
     "Database",
     "Table",
     "TableDefinition",
+    "ExecutionContext",
+    "PhysicalExecutor",
+    "PhysicalPlan",
+    "PhysicalPlanner",
+    "PlanCache",
     "RecordType",
     "TypeGuard",
     "is_record_subtype",

@@ -37,7 +37,32 @@ from repro.model.tuples import FlexTuple
 
 
 class ExecutionStats:
-    """Counters accumulated while evaluating an expression tree."""
+    """Counters accumulated while evaluating an expression tree.
+
+    The counters are shared between the naive evaluator and the physical engine
+    (:mod:`repro.exec`), with the following semantics:
+
+    ``tuples_scanned``
+        Tuples read from a base relation plus tuples passed through a per-tuple
+        reshaping operator (projection, extension, rename, union, difference).
+    ``predicate_evaluations``
+        Selection predicates evaluated against a tuple (one per tuple per σ).
+    ``guard_checks``
+        Type-guard membership tests (``attrs ⊆ attr(t)``), including the
+        guard-aware partitioning checks of hash-based joins.
+    ``join_pairs_considered``
+        Pairs of input tuples whose combination the join operator actually
+        *examined*.  Nested-loop operators (cartesian product, the naive
+        ``NaturalJoin``) examine every pair, contributing ``|L| × |R|`` per
+        stage — a chain of naive natural joins therefore sums ``|L| × |R|``
+        over its stages.  Hash-based operators (``MultiwayJoin``, the physical
+        ``HashJoin``) only examine pairs that share a hash bucket, so they
+        contribute the sum of per-probe bucket sizes.  Probes that miss every
+        bucket (or tuples partitioned out by a guard) contribute zero — the
+        counter measures pairwise work performed, not probes attempted.
+    ``operators_executed`` / ``operator_counts``
+        One increment per operator node (logical or physical) that ran.
+    """
 
     def __init__(self):
         self.tuples_scanned = 0
@@ -271,11 +296,15 @@ class Evaluator:
                     index.setdefault(tuple(tup[a] for a in node.on), []).append(tup)
             merged = set()
             for tup in current:
-                stats.join_pairs_considered += 1
                 if not tup.is_defined_on(node.on):
                     merged.add(tup)
                     continue
                 partners = index.get(tuple(tup[a] for a in node.on), [])
+                # Count the pairs actually examined (the bucket size), matching the
+                # hash-join semantics documented on ExecutionStats; probes that miss
+                # contribute nothing, unlike a nested-loop chain which would count
+                # |current| × |fragment| here.
+                stats.join_pairs_considered += len(partners)
                 if not partners:
                     merged.add(tup)
                     continue

@@ -84,16 +84,29 @@ class TableDefinition:
 
 
 class Catalog:
-    """A registry of table definitions."""
+    """A registry of table definitions.
+
+    The catalog carries a monotonically increasing :attr:`version`, bumped on
+    every schema change (register / unregister).  The physical executor keys its
+    plan cache on this version, so cached plans are invalidated exactly when the
+    schema they were planned against changes.
+    """
 
     def __init__(self):
         self._definitions: Dict[str, TableDefinition] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """The schema version: incremented by every register / unregister."""
+        return self._version
 
     def register(self, definition: TableDefinition) -> TableDefinition:
         """Add a definition; duplicate names are rejected."""
         if definition.name in self._definitions:
             raise CatalogError("table {!r} is already registered".format(definition.name))
         self._definitions[definition.name] = definition
+        self._version += 1
         return definition
 
     def unregister(self, name: str) -> None:
@@ -101,6 +114,7 @@ class Catalog:
         if name not in self._definitions:
             raise CatalogError("unknown table {!r}".format(name))
         del self._definitions[name]
+        self._version += 1
 
     def definition(self, name: str) -> TableDefinition:
         """The definition registered under ``name``."""

@@ -94,6 +94,14 @@ class ConstraintChecker:
 
     # -- index maintenance -------------------------------------------------------------------
 
+    def indexes(self) -> List[HashIndex]:
+        """Every index the checker maintains (key index first), for scan reuse."""
+        result: List[HashIndex] = []
+        if self.key_index is not None:
+            result.append(self.key_index)
+        result.extend(self._dependency_indexes.values())
+        return result
+
     def register_tuple(self, tup: FlexTuple) -> None:
         """Add a stored tuple to the key and dependency indexes."""
         if self.key_index is not None:

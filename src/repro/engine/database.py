@@ -16,8 +16,11 @@ from repro.algebra.expressions import Expression
 from repro.core.dependencies import Dependency
 from repro.engine.catalog import Catalog, TableDefinition
 from repro.engine.constraints import ConstraintChecker
+from repro.engine.indexes import HashIndex
 from repro.errors import CatalogError, ConstraintViolation
-from repro.model.attributes import AttributeSet
+from repro.exec.executor import PhysicalExecutor
+from repro.exec.planner import PhysicalPlan
+from repro.model.attributes import AttributeSet, attrset
 from repro.model.domains import Domain
 from repro.model.relation import FlexibleRelation
 from repro.model.scheme import FlexibleScheme
@@ -58,6 +61,20 @@ class Table:
 
     def __contains__(self, item) -> bool:
         return _as_tuple(item) in self._tuples
+
+    def index_for(self, attributes) -> Optional["HashIndex"]:
+        """A maintained hash index whose attributes are covered by ``attributes``.
+
+        Consulted by the physical :class:`~repro.exec.operators.Scan` to answer
+        pushed-down equality predicates from an index bucket instead of a full
+        scan.  The key index is preferred; ``None`` when no maintained index is
+        covered by the given attribute names.
+        """
+        wanted = attrset(attributes)
+        for index in self.checker.indexes():
+            if index.attributes.issubset(wanted):
+                return index
+        return None
 
     def as_relation(self) -> FlexibleRelation:
         """A :class:`FlexibleRelation` snapshot of the table."""
@@ -168,6 +185,19 @@ class Database:
         self.catalog = Catalog()
         self.enforce_constraints = enforce_constraints
         self._tables: Dict[str, Table] = {}
+        self._physical_executor: Optional[PhysicalExecutor] = None
+
+    @property
+    def catalog_version(self) -> int:
+        """The catalog's schema version (plan-cache invalidation hook)."""
+        return self.catalog.version
+
+    @property
+    def physical_executor(self) -> PhysicalExecutor:
+        """The database's physical executor (created lazily, plan cache persists)."""
+        if self._physical_executor is None:
+            self._physical_executor = PhysicalExecutor(self)
+        return self._physical_executor
 
     # -- schema management ------------------------------------------------------------------------
 
@@ -223,29 +253,54 @@ class Database:
 
     # -- queries ------------------------------------------------------------------------------------------
 
-    def execute(self, expression: Expression, optimize: bool = False) -> EvaluationResult:
-        """Evaluate an algebra expression against the stored tables."""
-        result, _report = self.execute_with_report(expression, optimize=optimize)
+    def execute(self, expression: Expression, optimize: bool = False,
+                executor: str = "physical") -> EvaluationResult:
+        """Evaluate an algebra expression against the stored tables.
+
+        ``executor`` selects the execution engine: ``"physical"`` (default) runs
+        the expression through the physical plan layer of :mod:`repro.exec` —
+        index-aware scans, hash joins, cached plans; ``"naive"`` runs the
+        reference set evaluator of :mod:`repro.algebra`.  Both produce identical
+        result sets (enforced by the differential test suite).
+        """
+        result, _report = self.execute_with_report(expression, optimize=optimize,
+                                                   executor=executor)
         return result
 
-    def execute_with_report(self, expression: Expression,
-                            optimize: bool = True) -> Tuple[EvaluationResult, RewriteReport]:
+    def execute_with_report(self, expression: Expression, optimize: bool = True,
+                            executor: str = "physical") -> Tuple[EvaluationResult, RewriteReport]:
         """Evaluate an expression and also return the optimizer's rewrite report."""
         report = RewriteReport()
         if optimize:
             planner = Planner(catalog=self)
             expression, report = planner.optimize(expression)
-        evaluator = Evaluator(self)
-        return evaluator.evaluate(expression), report
+        if executor == "physical":
+            return self.physical_executor.execute(expression), report
+        if executor == "naive":
+            evaluator = Evaluator(self)
+            return evaluator.evaluate(expression), report
+        raise CatalogError("unknown executor {!r}; use 'physical' or 'naive'".format(executor))
 
-    def query(self, text: str, optimize: bool = True) -> EvaluationResult:
+    def plan(self, expression: Expression, optimize: bool = True) -> PhysicalPlan:
+        """The physical plan the database would run for ``expression``.
+
+        With ``optimize=True`` the AD-driven rewrites are applied first, so the
+        plan shows what actually executes; ``plan.explain()`` renders it.
+        """
+        if optimize:
+            planner = Planner(catalog=self)
+            expression, _report = planner.optimize(expression)
+        return self.physical_executor.plan(expression)
+
+    def query(self, text: str, optimize: bool = True,
+              executor: str = "physical") -> EvaluationResult:
         """Parse and evaluate a textual query (see :mod:`repro.query`).
 
         ``db.query("SELECT name FROM employees WHERE jobtype = 'secretary'")``
         """
         from repro.query import parse_query
 
-        return self.execute(parse_query(text), optimize=optimize)
+        return self.execute(parse_query(text), optimize=optimize, executor=executor)
 
     # -- transactions ----------------------------------------------------------------------------------
 

@@ -1,0 +1,74 @@
+"""Physical execution engine for the flexible-relation algebra.
+
+The logical layer (:mod:`repro.algebra`) defines *what* a query means; this
+package decides *how* to run it:
+
+* :mod:`repro.exec.operators` — volcano/batch physical operators: index-aware
+  :class:`Scan` with pushed-down selections and type guards, :class:`HashJoin`
+  with guard-aware partitioning for variant records, streaming unions and
+  difference, and physical forms of every remaining algebra operator;
+* :mod:`repro.exec.planner`  — the :class:`PhysicalPlanner` lowering (rewritten)
+  logical expression trees into :class:`PhysicalPlan` objects, choosing join
+  algorithms from the cost model;
+* :mod:`repro.exec.executor` — the :class:`PhysicalExecutor` with its LRU
+  :class:`PlanCache` keyed on (expression structure, catalog version);
+* :mod:`repro.exec.context`  — the :class:`ExecutionContext` carrying the
+  evaluator-compatible global work counters plus a per-operator breakdown.
+
+The naive set evaluator in :mod:`repro.algebra.evaluator` remains the reference
+implementation; ``tests/test_exec_parity.py`` differentially checks that both
+produce identical results.
+"""
+
+from repro.exec.context import DEFAULT_BATCH_SIZE, ExecutionContext, OperatorStats
+from repro.exec.executor import PhysicalExecutor, PlanCache
+from repro.exec.operators import (
+    DifferenceOp,
+    EmptyOp,
+    ExtendOp,
+    FilterOp,
+    GuardOp,
+    HashJoin,
+    MergeUnion,
+    MultiwayJoinOp,
+    NestedLoopJoin,
+    OuterUnionOp,
+    PhysicalOperator,
+    ProductOp,
+    ProjectOp,
+    RenameOp,
+    Scan,
+)
+from repro.exec.planner import (
+    PhysicalPlan,
+    PhysicalPlanner,
+    PhysicalResult,
+    expression_key,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "ExecutionContext",
+    "OperatorStats",
+    "PhysicalExecutor",
+    "PlanCache",
+    "PhysicalOperator",
+    "Scan",
+    "EmptyOp",
+    "FilterOp",
+    "GuardOp",
+    "ProjectOp",
+    "ExtendOp",
+    "RenameOp",
+    "ProductOp",
+    "NestedLoopJoin",
+    "HashJoin",
+    "MergeUnion",
+    "OuterUnionOp",
+    "DifferenceOp",
+    "MultiwayJoinOp",
+    "PhysicalPlan",
+    "PhysicalPlanner",
+    "PhysicalResult",
+    "expression_key",
+]

@@ -1,0 +1,91 @@
+"""Execution context and per-operator statistics for the physical engine.
+
+The physical operators of :mod:`repro.exec.operators` do not talk to the database
+directly; everything they need at run time — the relation source, the global
+:class:`~repro.algebra.evaluator.ExecutionStats` counters, and a per-operator
+breakdown — travels in an :class:`ExecutionContext`.
+
+The global counters are *the same object* the naive evaluator uses, so costs
+reported by the physical engine are directly comparable with the evaluator's
+(``total_work`` means the same thing in both).  On top of that the context keeps
+one :class:`OperatorStats` per plan node, which is what ``EXPLAIN ANALYZE``-style
+reporting and the benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.algebra.evaluator import ExecutionStats
+
+#: default number of tuples per batch handed between operators
+DEFAULT_BATCH_SIZE = 256
+
+
+class OperatorStats:
+    """Counters for one physical operator instance."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self.rows_in = 0
+        self.rows_out = 0
+        self.batches_out = 0
+        self.invocations = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "operator": self.label,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "batches_out": self.batches_out,
+            "invocations": self.invocations,
+        }
+
+    def __repr__(self) -> str:
+        return "OperatorStats({}: in={}, out={})".format(self.label, self.rows_in, self.rows_out)
+
+
+class ExecutionContext:
+    """Run-time state shared by every operator of one plan execution.
+
+    Parameters
+    ----------
+    source:
+        The relation source — a :class:`repro.engine.Database`, a mapping
+        ``{name: relation}``, or anything the naive evaluator accepts.
+    stats:
+        The global work counters; a fresh :class:`ExecutionStats` when omitted.
+    batch_size:
+        How many tuples an operator accumulates before handing a batch downstream.
+    use_indexes:
+        Whether :class:`~repro.exec.operators.Scan` may answer pushed-down equality
+        predicates from the engine's hash indexes.
+    """
+
+    def __init__(self, source, stats: Optional[ExecutionStats] = None,
+                 batch_size: int = DEFAULT_BATCH_SIZE, use_indexes: bool = True):
+        self.source = source
+        self.stats = stats if stats is not None else ExecutionStats()
+        self.batch_size = max(1, int(batch_size))
+        self.use_indexes = use_indexes
+        self._operator_stats: List[OperatorStats] = []
+
+    def register_operator(self, label: str) -> OperatorStats:
+        """Create (and remember) the per-operator counters for one plan node."""
+        op_stats = OperatorStats(label)
+        self._operator_stats.append(op_stats)
+        return op_stats
+
+    @property
+    def operator_stats(self) -> List[OperatorStats]:
+        """Per-operator counters in registration (plan) order."""
+        return list(self._operator_stats)
+
+    def operator_report(self) -> List[Dict[str, object]]:
+        """The per-operator breakdown as a list of plain dicts (JSON-friendly)."""
+        return [s.as_dict() for s in self._operator_stats]
+
+    def __repr__(self) -> str:
+        return "ExecutionContext(batch_size={}, operators={})".format(
+            self.batch_size, len(self._operator_stats)
+        )

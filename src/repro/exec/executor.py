@@ -1,0 +1,102 @@
+"""The physical executor: plan, cache, run.
+
+:class:`PhysicalExecutor` is the session-level entry point the engine uses.  It
+owns a :class:`PhysicalPlanner` and an LRU :class:`PlanCache` keyed on
+``(expression structure, catalog version)``: hot queries are lowered once and the
+cached plan is reused until the schema changes.  Plans resolve relations and
+indexes at *execution* time, so cached plans stay correct across DML — data
+changes can at worst make a cached join-algorithm choice suboptimal, never wrong.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.algebra.evaluator import ExecutionStats
+from repro.algebra.expressions import Expression
+from repro.exec.context import DEFAULT_BATCH_SIZE
+from repro.exec.planner import (
+    PhysicalPlan,
+    PhysicalPlanner,
+    PhysicalResult,
+    expression_key,
+)
+
+
+class PlanCache:
+    """A small LRU cache of physical plans."""
+
+    def __init__(self, max_size: int = 128):
+        self.max_size = max(1, int(max_size))
+        self._plans: "OrderedDict[tuple, PhysicalPlan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key) -> Optional[PhysicalPlan]:
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def put(self, key, plan: PhysicalPlan) -> None:
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        while len(self._plans) > self.max_size:
+            self._plans.popitem(last=False)
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __repr__(self) -> str:
+        return "PlanCache(size={}, hits={}, misses={})".format(
+            len(self._plans), self.hits, self.misses
+        )
+
+
+def _catalog_version(source) -> object:
+    """The source's schema version, or ``None`` for versionless sources (dicts)."""
+    return getattr(source, "catalog_version", None)
+
+
+class PhysicalExecutor:
+    """Executes logical expressions through cached physical plans.
+
+    ``source`` is a :class:`repro.engine.Database` or any relation source the
+    evaluator accepts; databases additionally contribute their catalog version to
+    the cache key and their hash indexes to scans.
+    """
+
+    def __init__(self, source, planner: Optional[PhysicalPlanner] = None,
+                 cache_size: int = 128, batch_size: int = DEFAULT_BATCH_SIZE,
+                 use_indexes: bool = True):
+        self.source = source
+        self.planner = planner if planner is not None else PhysicalPlanner(source=source)
+        self.cache = PlanCache(cache_size)
+        self.batch_size = batch_size
+        self.use_indexes = use_indexes
+
+    def plan(self, expression: Expression) -> PhysicalPlan:
+        """The (possibly cached) physical plan for ``expression``."""
+        key = (expression_key(expression), _catalog_version(self.source))
+        plan = self.cache.get(key)
+        if plan is None:
+            plan = self.planner.plan(expression)
+            self.cache.put(key, plan)
+        return plan
+
+    def execute(self, expression: Expression,
+                stats: Optional[ExecutionStats] = None) -> PhysicalResult:
+        """Plan (or fetch from cache) and run ``expression``."""
+        plan = self.plan(expression)
+        return plan.execute(self.source, stats=stats, batch_size=self.batch_size,
+                            use_indexes=self.use_indexes)
+
+    def __repr__(self) -> str:
+        return "PhysicalExecutor({!r})".format(self.cache)

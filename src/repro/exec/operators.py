@@ -1,0 +1,648 @@
+"""Physical operators: the volcano/batch execution layer.
+
+Every operator pulls *batches* (lists) of :class:`~repro.model.tuples.FlexTuple`
+from its children and yields batches downstream, so large intermediate results are
+never forced into a single Python collection unless an algorithm genuinely needs
+materialization (hash-join build sides, difference right sides, shared-attribute
+discovery for natural joins over heterogeneous inputs).
+
+Operator semantics mirror the naive set evaluator in
+:mod:`repro.algebra.evaluator` exactly — the differential tests in
+``tests/test_exec_parity.py`` enforce tuple-level equality — but the algorithms
+differ:
+
+* :class:`Scan` applies pushed-down selections and type guards while reading, and
+  can answer equality predicates from the engine's hash indexes instead of reading
+  the whole relation;
+* :class:`HashJoin` replaces the evaluator's nested loop with build/probe on the
+  natural-join attributes, with *guard-aware partitioning*: variant records that
+  lack a join attribute are partitioned out up front (they can never join) and
+  counted as guard checks rather than join pairs;
+* :class:`MergeUnion` / :class:`DifferenceOp` stream one side against a
+  materialized other side.
+
+Work counters are written into the shared
+:class:`~repro.algebra.evaluator.ExecutionStats` with the same meaning the
+evaluator gives them (see its docstring for the counter semantics), so naive and
+physical costs are directly comparable.  Each operator additionally records
+rows-in/rows-out in the :class:`~repro.exec.context.OperatorStats` it registers
+with the :class:`~repro.exec.context.ExecutionContext`.
+
+Every operator's output batch stream contains each distinct tuple exactly once
+(set semantics per operator, as in the evaluator); operators therefore never need
+to re-deduplicate their inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.algebra.evaluator import _resolve_relation
+from repro.algebra.predicates import Predicate
+from repro.errors import AlgebraError
+from repro.exec.context import ExecutionContext, OperatorStats
+from repro.model.attributes import AttributeSet, attrset
+from repro.model.tuples import FlexTuple
+
+Batch = List[FlexTuple]
+
+
+class PhysicalOperator:
+    """Base class of every physical plan node."""
+
+    #: operator name used in explain output
+    name: str = "physical-op"
+
+    @property
+    def children(self) -> Tuple["PhysicalOperator", ...]:
+        return ()
+
+    def label(self) -> str:
+        """One-line description used in explain output and operator stats."""
+        return self.name
+
+    def run(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Start execution: register stats (preorder) and return the batch stream."""
+        ctx.stats.record_operator(self.name)
+        op_stats = ctx.register_operator(self.label())
+        child_streams = tuple(child.run(ctx) for child in self.children)
+        return self._generate(ctx, op_stats, *child_streams)
+
+    def _generate(self, ctx: ExecutionContext, op: OperatorStats, *children) -> Iterator[Batch]:
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        """Readable multi-line rendering of the physical plan."""
+        lines = ["  " * indent + self.label()]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return self.label()
+
+    # -- helpers shared by the concrete operators --------------------------------------
+
+    @staticmethod
+    def _rebatch(ctx: ExecutionContext, op: OperatorStats,
+                 tuples: Iterable[FlexTuple]) -> Iterator[Batch]:
+        """Pack a tuple stream into batches of ``ctx.batch_size``."""
+        batch: Batch = []
+        for tup in tuples:
+            batch.append(tup)
+            if len(batch) >= ctx.batch_size:
+                op.rows_out += len(batch)
+                op.batches_out += 1
+                yield batch
+                batch = []
+        if batch:
+            op.rows_out += len(batch)
+            op.batches_out += 1
+            yield batch
+
+    @staticmethod
+    def _materialize(op: OperatorStats, stream: Iterator[Batch]) -> Set[FlexTuple]:
+        """Drain a child's batch stream into a set."""
+        result: Set[FlexTuple] = set()
+        for batch in stream:
+            op.rows_in += len(batch)
+            result.update(batch)
+        return result
+
+
+class EmptyOp(PhysicalOperator):
+    """Produces no tuples (the physical form of the optimizer's ∅ leaf)."""
+
+    name = "empty"
+
+    def _generate(self, ctx, op):
+        op.invocations += 1
+        return
+        yield  # pragma: no cover — makes this a generator
+
+
+class Scan(PhysicalOperator):
+    """Read a base relation, applying pushed-down guards and selections inline.
+
+    ``equalities`` are the attribute→value bindings implied by the pushed
+    predicate; when the relation source exposes a hash index covering a subset of
+    them (``index_for``), the scan reads only the matching bucket instead of the
+    whole relation.  The full predicate is still applied to every tuple read, so
+    an index never changes the result — only how many tuples are touched.
+    """
+
+    name = "scan"
+
+    def __init__(self, relation: str, predicate: Optional[Predicate] = None,
+                 guard: Optional[AttributeSet] = None,
+                 equalities: Optional[Dict[str, object]] = None):
+        self.relation = relation
+        self.predicate = predicate
+        self.guard = attrset(guard) if guard is not None and len(attrset(guard)) else None
+        if equalities is None and predicate is not None:
+            equalities = predicate.implied_equalities()
+        self.equalities = dict(equalities or {})
+
+    def label(self) -> str:
+        parts = [self.relation]
+        if self.predicate is not None:
+            parts.append("σ[{!r}]".format(self.predicate))
+        if self.guard is not None:
+            parts.append("guard[{}]".format(self.guard))
+        return "scan[{}]".format(", ".join(parts))
+
+    def _pick_index(self, ctx: ExecutionContext):
+        """The (index, probe) pair answering the pushed equalities, if any."""
+        if not (ctx.use_indexes and self.equalities):
+            return None
+        if not hasattr(ctx.source, "relation"):
+            return None
+        try:
+            table = ctx.source.relation(self.relation)
+        except Exception:
+            return None
+        index_for = getattr(table, "index_for", None)
+        if index_for is None:
+            return None
+        index = index_for(self.equalities.keys())
+        if index is None:
+            return None
+        probe = {a.name: self.equalities[a.name] for a in index.attributes}
+        try:
+            hash(tuple(probe.values()))
+        except TypeError:
+            # Unhashable comparison constant (e.g. a list): no bucket can hold it,
+            # but the predicate may still be satisfiable elsewhere — full scan.
+            return None
+        return index, probe
+
+    def _generate(self, ctx, op):
+        op.invocations += 1
+        picked = self._pick_index(ctx)
+        if picked is not None:
+            index, probe = picked
+            tuples: Iterable[FlexTuple] = index.lookup(probe)
+        else:
+            tuples = _resolve_relation(ctx.source, self.relation)
+
+        def emit() -> Iterator[FlexTuple]:
+            for tup in tuples:
+                ctx.stats.tuples_scanned += 1
+                op.rows_in += 1
+                if self.guard is not None:
+                    ctx.stats.guard_checks += 1
+                    if not tup.is_defined_on(self.guard):
+                        continue
+                if self.predicate is not None:
+                    ctx.stats.predicate_evaluations += 1
+                    if not self.predicate.evaluate(tup):
+                        continue
+                yield tup
+
+        return self._rebatch(ctx, op, emit())
+
+    # -- pushdown helpers used by the physical planner ----------------------------------
+
+    def with_predicate(self, predicate: Predicate) -> "Scan":
+        """A copy with ``predicate`` conjoined to the already-pushed predicate."""
+        from repro.algebra.predicates import And
+
+        combined = predicate if self.predicate is None else And(self.predicate, predicate)
+        return Scan(self.relation, predicate=combined, guard=self.guard)
+
+    def with_guard(self, attributes) -> "Scan":
+        """A copy with ``attributes`` added to the pushed type guard."""
+        guard = attrset(attributes) if self.guard is None else self.guard | attrset(attributes)
+        return Scan(self.relation, predicate=self.predicate, guard=guard,
+                    equalities=self.equalities)
+
+
+class FilterOp(PhysicalOperator):
+    """σ — keep the tuples satisfying the predicate (when pushdown was impossible)."""
+
+    name = "filter"
+
+    def __init__(self, child: PhysicalOperator, predicate: Predicate):
+        self.child = child
+        self.predicate = predicate
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        return "filter[{!r}]".format(self.predicate)
+
+    def _generate(self, ctx, op, child):
+        op.invocations += 1
+
+        def emit():
+            for batch in child:
+                op.rows_in += len(batch)
+                for tup in batch:
+                    ctx.stats.predicate_evaluations += 1
+                    if self.predicate.evaluate(tup):
+                        yield tup
+
+        return self._rebatch(ctx, op, emit())
+
+
+class GuardOp(PhysicalOperator):
+    """An explicit type guard: keep tuples defined on the guarded attributes."""
+
+    name = "guard"
+
+    def __init__(self, child: PhysicalOperator, attributes):
+        self.child = child
+        self.attributes = attrset(attributes)
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        return "guard[{}]".format(self.attributes)
+
+    def _generate(self, ctx, op, child):
+        op.invocations += 1
+
+        def emit():
+            for batch in child:
+                op.rows_in += len(batch)
+                for tup in batch:
+                    ctx.stats.guard_checks += 1
+                    if tup.is_defined_on(self.attributes):
+                        yield tup
+
+        return self._rebatch(ctx, op, emit())
+
+
+class ProjectOp(PhysicalOperator):
+    """π — restrict tuples to the attributes they possess, deduplicating on the fly."""
+
+    name = "project"
+
+    def __init__(self, child: PhysicalOperator, attributes):
+        self.child = child
+        self.attributes = attrset(attributes)
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        return "project[{}]".format(self.attributes)
+
+    def _generate(self, ctx, op, child):
+        op.invocations += 1
+
+        def emit():
+            seen: Set[FlexTuple] = set()
+            for batch in child:
+                op.rows_in += len(batch)
+                for tup in batch:
+                    ctx.stats.tuples_scanned += 1
+                    projected = tup.project_existing(self.attributes)
+                    if len(projected) and projected not in seen:
+                        seen.add(projected)
+                        yield projected
+
+        return self._rebatch(ctx, op, emit())
+
+
+class ExtendOp(PhysicalOperator):
+    """ε — extend every tuple by a constant tag attribute."""
+
+    name = "extend"
+
+    def __init__(self, child: PhysicalOperator, attribute: str, value):
+        self.child = child
+        self.attribute = attribute
+        self.value = value
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        return "extend[{}:{!r}]".format(self.attribute, self.value)
+
+    def _generate(self, ctx, op, child):
+        op.invocations += 1
+
+        def emit():
+            for batch in child:
+                op.rows_in += len(batch)
+                for tup in batch:
+                    ctx.stats.tuples_scanned += 1
+                    yield tup.extend(**{self.attribute: self.value})
+
+        return self._rebatch(ctx, op, emit())
+
+
+class RenameOp(PhysicalOperator):
+    """ρ — rename attributes (deduplicates, since renames can collapse tuples)."""
+
+    name = "rename"
+
+    def __init__(self, child: PhysicalOperator, mapping: Dict[str, str]):
+        self.child = child
+        self.mapping = dict(mapping)
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        return "rename[{}]".format(self.mapping)
+
+    def _generate(self, ctx, op, child):
+        op.invocations += 1
+
+        def emit():
+            seen: Set[FlexTuple] = set()
+            for batch in child:
+                op.rows_in += len(batch)
+                for tup in batch:
+                    ctx.stats.tuples_scanned += 1
+                    renamed = FlexTuple({self.mapping.get(name, name): value
+                                         for name, value in tup.items()})
+                    if renamed not in seen:
+                        seen.add(renamed)
+                        yield renamed
+
+        return self._rebatch(ctx, op, emit())
+
+
+class ProductOp(PhysicalOperator):
+    """× — cartesian product; materializes the right side, streams the left."""
+
+    name = "product"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator):
+        self.left = left
+        self.right = right
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def _generate(self, ctx, op, left, right):
+        op.invocations += 1
+        build = self._materialize(op, right)
+
+        def emit():
+            seen: Set[FlexTuple] = set()
+            for batch in left:
+                op.rows_in += len(batch)
+                for left_tuple in batch:
+                    for right_tuple in build:
+                        ctx.stats.join_pairs_considered += 1
+                        merged = left_tuple.merge(right_tuple)
+                        if merged not in seen:
+                            seen.add(merged)
+                            yield merged
+
+        return self._rebatch(ctx, op, emit())
+
+
+def _shared_attributes(left: Set[FlexTuple], right: Set[FlexTuple]) -> AttributeSet:
+    """The natural-join attributes: attrs appearing on both sides of the data."""
+    left_attrs = AttributeSet()
+    for tup in left:
+        left_attrs = left_attrs | tup.attributes
+    right_attrs = AttributeSet()
+    for tup in right:
+        right_attrs = right_attrs | tup.attributes
+    return left_attrs & right_attrs
+
+
+class NestedLoopJoin(PhysicalOperator):
+    """⋈ by nested loops — every pair of input tuples is examined.
+
+    Used by the planner only for small inputs, where the hash-table setup of
+    :class:`HashJoin` costs more than it saves.
+    """
+
+    name = "nested-loop-join"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator, on=None):
+        self.left = left
+        self.right = right
+        self.on = attrset(on) if on is not None else None
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return "nested-loop-join[on={}]".format(self.on if self.on is not None else "shared")
+
+    def _generate(self, ctx, op, left, right):
+        op.invocations += 1
+        left_set = self._materialize(op, left)
+        right_set = self._materialize(op, right)
+        shared = self.on if self.on is not None else _shared_attributes(left_set, right_set)
+
+        def emit():
+            seen: Set[FlexTuple] = set()
+            for left_tuple in left_set:
+                for right_tuple in right_set:
+                    ctx.stats.join_pairs_considered += 1
+                    if not (left_tuple.is_defined_on(shared) and right_tuple.is_defined_on(shared)):
+                        continue
+                    if all(left_tuple[a] == right_tuple[a] for a in shared):
+                        merged = left_tuple.merge(right_tuple)
+                        if merged not in seen:
+                            seen.add(merged)
+                            yield merged
+
+        return self._rebatch(ctx, op, emit())
+
+
+class HashJoin(PhysicalOperator):
+    """⋈ by build/probe on the natural-join attribute intersection.
+
+    The right input is the build side (the planner puts the smaller estimated
+    input there).  Partitioning is *guard-aware*: variant records not defined on
+    every join attribute are set aside during build/probe — they cannot join, so
+    they cost one guard check each instead of a join pair per combination.  Only
+    pairs that share a hash bucket count as ``join_pairs_considered``, which is
+    exactly the work the algorithm performs.
+    """
+
+    name = "hash-join"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator, on=None):
+        self.left = left
+        self.right = right
+        self.on = attrset(on) if on is not None else None
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return "hash-join[on={}]".format(self.on if self.on is not None else "shared")
+
+    def _generate(self, ctx, op, left, right):
+        op.invocations += 1
+        right_set = self._materialize(op, right)
+        if self.on is not None:
+            # Join attributes known statically: stream the probe side batch by
+            # batch, keeping only the build side in memory.
+            shared = self.on
+            probe_tuples = (tup for batch in left
+                            for tup in self._count_batch(op, batch))
+        else:
+            # Natural join: the shared attributes depend on the data, so the
+            # probe side must be materialized to discover them.
+            left_set = self._materialize(op, left)
+            shared = _shared_attributes(left_set, right_set)
+            probe_tuples = iter(left_set)
+
+        buckets: Dict[tuple, List[FlexTuple]] = {}
+        for tup in right_set:
+            ctx.stats.guard_checks += 1
+            if tup.is_defined_on(shared):
+                buckets.setdefault(tuple(tup[a] for a in shared), []).append(tup)
+
+        def emit():
+            seen: Set[FlexTuple] = set()
+            for left_tuple in probe_tuples:
+                ctx.stats.guard_checks += 1
+                if not left_tuple.is_defined_on(shared):
+                    continue
+                partners = buckets.get(tuple(left_tuple[a] for a in shared), ())
+                ctx.stats.join_pairs_considered += len(partners)
+                for partner in partners:
+                    merged = left_tuple.merge(partner)
+                    if merged not in seen:
+                        seen.add(merged)
+                        yield merged
+
+        return self._rebatch(ctx, op, emit())
+
+    @staticmethod
+    def _count_batch(op: OperatorStats, batch: Batch) -> Batch:
+        op.rows_in += len(batch)
+        return batch
+
+
+class MergeUnion(PhysicalOperator):
+    """∪ — stream both inputs, emitting each distinct tuple once."""
+
+    name = "merge-union"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator):
+        self.left = left
+        self.right = right
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def _generate(self, ctx, op, left, right):
+        op.invocations += 1
+
+        def emit():
+            seen: Set[FlexTuple] = set()
+            for stream in (left, right):
+                for batch in stream:
+                    op.rows_in += len(batch)
+                    for tup in batch:
+                        ctx.stats.tuples_scanned += 1
+                        if tup not in seen:
+                            seen.add(tup)
+                            yield tup
+
+        return self._rebatch(ctx, op, emit())
+
+
+class OuterUnionOp(MergeUnion):
+    """The outer union restoring horizontal decompositions.
+
+    Identical to :class:`MergeUnion` on flexible relations (tuples of different
+    shapes coexist without padding); kept as its own node so plans document the
+    restoration step, mirroring the logical algebra.
+    """
+
+    name = "outer-union"
+
+
+class DifferenceOp(PhysicalOperator):
+    """− — materialize the right side, stream the left side past it."""
+
+    name = "difference"
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator):
+        self.left = left
+        self.right = right
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+    def _generate(self, ctx, op, left, right):
+        op.invocations += 1
+        exclude = self._materialize(op, right)
+
+        def emit():
+            for batch in left:
+                op.rows_in += len(batch)
+                for tup in batch:
+                    ctx.stats.tuples_scanned += 1
+                    if tup not in exclude:
+                        yield tup
+
+        return self._rebatch(ctx, op, emit())
+
+
+class MultiwayJoinOp(PhysicalOperator):
+    """The multiway join restoring vertical decompositions, hash-based.
+
+    The first input is the master fragment; each further input is merged into the
+    master's tuples on the ``on`` attributes via a hash index.  Master tuples
+    without a partner pass through unchanged (variants contribute nothing) — the
+    same semantics as the logical operator.
+    """
+
+    name = "multiway-join"
+
+    def __init__(self, inputs: Sequence[PhysicalOperator], on):
+        inputs = tuple(inputs)
+        if len(inputs) < 2:
+            raise AlgebraError("a multiway join needs at least two inputs")
+        self.inputs = inputs
+        self.on = attrset(on)
+
+    @property
+    def children(self):
+        return self.inputs
+
+    def label(self) -> str:
+        return "multiway-join[on={}]".format(self.on)
+
+    def _generate(self, ctx, op, master, *fragments):
+        op.invocations += 1
+        current = self._materialize(op, master)
+        for stream in fragments:
+            fragment = self._materialize(op, stream)
+            buckets: Dict[tuple, List[FlexTuple]] = {}
+            for tup in fragment:
+                if tup.is_defined_on(self.on):
+                    buckets.setdefault(tuple(tup[a] for a in self.on), []).append(tup)
+            merged: Set[FlexTuple] = set()
+            for tup in current:
+                if not tup.is_defined_on(self.on):
+                    merged.add(tup)
+                    continue
+                partners = buckets.get(tuple(tup[a] for a in self.on), ())
+                ctx.stats.join_pairs_considered += len(partners)
+                if not partners:
+                    merged.add(tup)
+                    continue
+                for partner in partners:
+                    merged.add(tup.merge(partner))
+            current = merged
+        return self._rebatch(ctx, op, iter(current))

@@ -1,0 +1,214 @@
+"""Lowering logical algebra expressions into physical plans.
+
+The :class:`PhysicalPlanner` turns a (typically already AD-rewritten) logical
+:class:`~repro.algebra.expressions.Expression` tree into a tree of physical
+operators from :mod:`repro.exec.operators`:
+
+* chains of selections and type guards over a base relation collapse into a
+  single :class:`~repro.exec.operators.Scan` with the predicate and guard pushed
+  down (and the predicate's implied equalities exposed for index lookup);
+* every :class:`~repro.algebra.expressions.NaturalJoin` is lowered to either a
+  :class:`~repro.exec.operators.HashJoin` or a
+  :class:`~repro.exec.operators.NestedLoopJoin`, decided by the cardinality
+  estimates of :func:`repro.optimizer.cost.estimate_cost`; the smaller estimated
+  input becomes the hash-join build side;
+* all remaining operators map one-to-one onto their physical counterparts.
+
+:func:`expression_key` derives a stable structural cache key from an expression,
+which — combined with the engine's catalog version — keys the plan cache in
+:mod:`repro.exec.executor`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.algebra.evaluator import EvaluationResult, ExecutionStats
+from repro.algebra.expressions import (
+    Difference,
+    EmptyRelation,
+    Expression,
+    Extension,
+    MultiwayJoin,
+    NaturalJoin,
+    OuterUnion,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    TypeGuardNode,
+    Union,
+)
+from repro.errors import OptimizerError
+from repro.exec.context import DEFAULT_BATCH_SIZE, ExecutionContext
+from repro.exec.operators import (
+    DifferenceOp,
+    EmptyOp,
+    ExtendOp,
+    FilterOp,
+    GuardOp,
+    HashJoin,
+    MergeUnion,
+    MultiwayJoinOp,
+    NestedLoopJoin,
+    OuterUnionOp,
+    PhysicalOperator,
+    ProductOp,
+    ProjectOp,
+    RenameOp,
+    Scan,
+)
+from repro.optimizer.cost import estimate_cost
+
+#: below this many estimated probe×build pairs a nested loop beats the hash setup
+DEFAULT_HASH_JOIN_PAIR_THRESHOLD = 64
+
+
+class PhysicalResult(EvaluationResult):
+    """An :class:`EvaluationResult` that also carries the execution context.
+
+    ``result.context.operator_report()`` yields the per-operator breakdown; the
+    global counters in ``result.stats`` keep the evaluator-compatible meaning.
+    """
+
+    def __init__(self, tuples, stats: ExecutionStats, context: ExecutionContext):
+        super().__init__(tuples, stats)
+        self.context = context
+
+    def operator_report(self):
+        return self.context.operator_report()
+
+
+class PhysicalPlan:
+    """An executable tree of physical operators (the output of the planner)."""
+
+    def __init__(self, root: PhysicalOperator, expression: Optional[Expression] = None):
+        self.root = root
+        self.expression = expression
+
+    def execute(self, source, stats: Optional[ExecutionStats] = None,
+                batch_size: int = DEFAULT_BATCH_SIZE,
+                use_indexes: bool = True) -> PhysicalResult:
+        """Run the plan against ``source`` and collect the result set."""
+        ctx = ExecutionContext(source, stats=stats, batch_size=batch_size,
+                               use_indexes=use_indexes)
+        tuples = set()
+        for batch in self.root.run(ctx):
+            tuples.update(batch)
+        ctx.stats.tuples_produced = len(tuples)
+        return PhysicalResult(tuples, ctx.stats, ctx)
+
+    def explain(self) -> str:
+        """Readable multi-line rendering of the plan."""
+        return self.root.explain()
+
+    def __repr__(self) -> str:
+        return "PhysicalPlan({})".format(self.root.label())
+
+
+class PhysicalPlanner:
+    """Lowers logical expressions to physical plans.
+
+    ``source`` (a database or mapping) supplies base-relation cardinalities for
+    the hash-vs-nested-loop decision; without it, joins default to hash (which
+    degrades gracefully, whereas a nested loop on large inputs does not).
+    """
+
+    def __init__(self, source=None,
+                 hash_join_pair_threshold: int = DEFAULT_HASH_JOIN_PAIR_THRESHOLD):
+        self.source = source
+        self.hash_join_pair_threshold = hash_join_pair_threshold
+
+    def plan(self, expression: Expression) -> PhysicalPlan:
+        """Lower ``expression`` into an executable :class:`PhysicalPlan`."""
+        return PhysicalPlan(self._lower(expression), expression)
+
+    # -- lowering ------------------------------------------------------------------------
+
+    def _lower(self, expression: Expression) -> PhysicalOperator:
+        if isinstance(expression, EmptyRelation):
+            return EmptyOp()
+        if isinstance(expression, RelationRef):
+            return Scan(expression.name)
+        if isinstance(expression, Selection):
+            child = self._lower(expression.child)
+            if isinstance(child, Scan):
+                return child.with_predicate(expression.predicate)
+            return FilterOp(child, expression.predicate)
+        if isinstance(expression, TypeGuardNode):
+            child = self._lower(expression.child)
+            if isinstance(child, Scan):
+                return child.with_guard(expression.attributes)
+            return GuardOp(child, expression.attributes)
+        if isinstance(expression, Projection):
+            return ProjectOp(self._lower(expression.child), expression.attributes)
+        if isinstance(expression, Extension):
+            return ExtendOp(self._lower(expression.child), expression.attribute,
+                            expression.value)
+        if isinstance(expression, Rename):
+            return RenameOp(self._lower(expression.child), expression.mapping)
+        if isinstance(expression, Product):
+            return ProductOp(self._lower(expression.left), self._lower(expression.right))
+        if isinstance(expression, OuterUnion):
+            return OuterUnionOp(self._lower(expression.left), self._lower(expression.right))
+        if isinstance(expression, Union):
+            return MergeUnion(self._lower(expression.left), self._lower(expression.right))
+        if isinstance(expression, Difference):
+            return DifferenceOp(self._lower(expression.left), self._lower(expression.right))
+        if isinstance(expression, MultiwayJoin):
+            return MultiwayJoinOp([self._lower(child) for child in expression.inputs],
+                                  expression.on)
+        if isinstance(expression, NaturalJoin):
+            return self._lower_join(expression)
+        raise OptimizerError("cannot lower expression node {!r}".format(expression))
+
+    def _lower_join(self, expression: NaturalJoin) -> PhysicalOperator:
+        left = self._lower(expression.left)
+        right = self._lower(expression.right)
+        left_cardinality = estimate_cost(expression.left, self.source).cardinality
+        right_cardinality = estimate_cost(expression.right, self.source).cardinality
+        pairs = left_cardinality * right_cardinality
+        known = left_cardinality > 0 and right_cardinality > 0
+        if known and pairs <= self.hash_join_pair_threshold:
+            return NestedLoopJoin(left, right, on=expression.on)
+        # Build on the smaller estimated input (the right child of HashJoin).
+        if known and left_cardinality < right_cardinality:
+            left, right = right, left
+        return HashJoin(left, right, on=expression.on)
+
+
+def expression_key(expression: Expression) -> Tuple:
+    """A hashable structural key identifying an expression tree.
+
+    Two expressions with the same key produce the same physical plan, so the key
+    (together with the catalog version) is safe to use as a plan-cache key.
+    Predicates contribute their ``repr``, which is deterministic for the whole
+    predicate language.
+    """
+    if isinstance(expression, RelationRef):
+        return ("relation", expression.name)
+    if isinstance(expression, EmptyRelation):
+        return ("empty",)
+    if isinstance(expression, Selection):
+        return ("select", repr(expression.predicate), expression_key(expression.child))
+    if isinstance(expression, TypeGuardNode):
+        return ("guard", str(expression.attributes), expression_key(expression.child))
+    if isinstance(expression, Projection):
+        return ("project", str(expression.attributes), expression_key(expression.child))
+    if isinstance(expression, Extension):
+        return ("extend", expression.attribute, repr(expression.value),
+                expression_key(expression.child))
+    if isinstance(expression, Rename):
+        return ("rename", tuple(sorted(expression.mapping.items())),
+                expression_key(expression.child))
+    if isinstance(expression, NaturalJoin):
+        return ("join", str(expression.on) if expression.on is not None else None,
+                expression_key(expression.left), expression_key(expression.right))
+    if isinstance(expression, MultiwayJoin):
+        return ("multiway-join", str(expression.on),
+                tuple(expression_key(child) for child in expression.inputs))
+    # Product / Union / OuterUnion / Difference carry no payload beyond their
+    # operator name and children; unknown nodes degrade to the same shape.
+    return ((expression.operator,)
+            + tuple(expression_key(child) for child in expression.children))

@@ -1,0 +1,190 @@
+"""Unit tests for the physical execution subsystem (:mod:`repro.exec`)."""
+
+import pytest
+
+from repro.algebra import (
+    EmptyRelation,
+    NaturalJoin,
+    Projection,
+    RelationRef,
+    Selection,
+    TypeGuardNode,
+    Union,
+)
+from repro.algebra.predicates import Comparison
+from repro.engine import Database
+from repro.errors import CatalogError
+from repro.exec import (
+    FilterOp,
+    HashJoin,
+    MergeUnion,
+    NestedLoopJoin,
+    PhysicalExecutor,
+    PhysicalPlanner,
+    ProjectOp,
+    Scan,
+    expression_key,
+)
+from repro.model.domains import IntDomain
+from repro.model.scheme import FlexibleScheme
+from repro.workloads.employees import employee_definition, generate_employees
+
+
+@pytest.fixture
+def database():
+    db = Database()
+    definition = employee_definition()
+    table = db.create_table("employees", definition.scheme, domains=definition.domains,
+                            key=definition.key, dependencies=definition.dependencies)
+    table.insert_many(generate_employees(120, seed=5))
+    return db
+
+
+class TestLowering:
+    def test_selection_and_guard_collapse_into_scan(self, database):
+        expression = TypeGuardNode(
+            Selection(RelationRef("employees"), Comparison("jobtype", "=", "secretary")),
+            ["typing_speed"],
+        )
+        plan = PhysicalPlanner(source=database).plan(expression)
+        assert isinstance(plan.root, Scan)
+        assert plan.root.predicate is not None
+        assert plan.root.guard is not None
+        assert plan.root.equalities == {"jobtype": "secretary"}
+
+    def test_filter_used_when_pushdown_impossible(self, database):
+        expression = Selection(Union(RelationRef("employees"), RelationRef("employees")),
+                               Comparison("salary", ">", 100.0))
+        plan = PhysicalPlanner(source=database).plan(expression)
+        assert isinstance(plan.root, FilterOp)
+        assert isinstance(plan.root.child, MergeUnion)
+
+    def test_large_join_lowers_to_hash_join(self, database):
+        expression = NaturalJoin(RelationRef("employees"), RelationRef("employees"))
+        plan = PhysicalPlanner(source=database).plan(expression)
+        assert isinstance(plan.root, HashJoin)
+
+    def test_small_join_lowers_to_nested_loop(self, database):
+        tiny = database.create_table("tiny", FlexibleScheme(1, 1, ["emp_id"]),
+                                     domains={"emp_id": IntDomain()})
+        tiny.insert_many({"emp_id": value} for value in range(5))
+        expression = NaturalJoin(RelationRef("tiny"), RelationRef("tiny"))
+        plan = PhysicalPlanner(source=database).plan(expression)
+        assert isinstance(plan.root, NestedLoopJoin)
+
+    def test_join_threshold_is_configurable(self, database):
+        expression = NaturalJoin(RelationRef("employees"), RelationRef("employees"))
+        planner = PhysicalPlanner(source=database, hash_join_pair_threshold=10 ** 9)
+        assert isinstance(planner.plan(expression).root, NestedLoopJoin)
+
+    def test_unknown_cardinalities_default_to_hash_join(self):
+        plan = PhysicalPlanner().plan(NaturalJoin(RelationRef("a"), RelationRef("b")))
+        assert isinstance(plan.root, HashJoin)
+
+    def test_explain_renders_tree(self, database):
+        expression = Projection(
+            Selection(RelationRef("employees"), Comparison("salary", ">", 100.0)),
+            ["name"],
+        )
+        rendered = database.plan(expression, optimize=False).explain()
+        assert "project" in rendered and "scan[employees" in rendered
+
+    def test_empty_relation(self, database):
+        result = database.execute(EmptyRelation())
+        assert len(result) == 0
+
+
+class TestExecution:
+    def test_small_batches_do_not_change_results(self, database):
+        expression = Selection(RelationRef("employees"), Comparison("salary", ">", 4000.0))
+        plan = PhysicalPlanner(source=database).plan(expression)
+        one = plan.execute(database, batch_size=1)
+        big = plan.execute(database, batch_size=10_000)
+        assert one.tuples == big.tuples
+
+    def test_operator_report_lists_plan_nodes(self, database):
+        expression = Projection(
+            Selection(RelationRef("employees"), Comparison("salary", ">", 4000.0)),
+            ["name", "jobtype"],
+        )
+        result = PhysicalExecutor(database).execute(expression)
+        labels = [row["operator"] for row in result.operator_report()]
+        assert any(label.startswith("project") for label in labels)
+        assert any(label.startswith("scan") for label in labels)
+        rows_out = {row["operator"]: row["rows_out"] for row in result.operator_report()}
+        assert rows_out[labels[0]] == len(result)
+
+    def test_stats_compatible_with_evaluator_interface(self, database):
+        result = database.execute(RelationRef("employees"))
+        stats = result.stats.as_dict()
+        assert stats["tuples_scanned"] == 120
+        assert stats["tuples_produced"] == 120
+        assert stats["total_work"] >= 120
+
+    def test_unknown_executor_rejected(self, database):
+        with pytest.raises(CatalogError):
+            database.execute(RelationRef("employees"), executor="quantum")
+
+
+class TestPlanCache:
+    def test_repeated_queries_hit_the_cache(self, database):
+        executor = database.physical_executor
+        query = Selection(RelationRef("employees"), Comparison("salary", ">", 4000.0))
+        database.execute(query)
+        hits_before = executor.cache.hits
+        database.execute(query)
+        assert executor.cache.hits == hits_before + 1
+
+    def test_schema_change_invalidates_cached_plans(self, database):
+        query = Selection(RelationRef("employees"), Comparison("salary", ">", 4000.0))
+        database.execute(query)
+        version = database.catalog_version
+        database.create_table("extra", FlexibleScheme(1, 1, ["x"]),
+                              domains={"x": IntDomain()})
+        assert database.catalog_version == version + 1
+        misses_before = database.physical_executor.cache.misses
+        database.execute(query)
+        assert database.physical_executor.cache.misses == misses_before + 1
+
+    def test_cache_is_bounded(self, database):
+        executor = PhysicalExecutor(database, cache_size=2)
+        for threshold in range(5):
+            executor.execute(Selection(RelationRef("employees"),
+                                       Comparison("salary", ">", float(threshold))))
+        assert len(executor.cache) == 2
+
+    def test_expression_key_distinguishes_structure(self):
+        a = Selection(RelationRef("r"), Comparison("x", "=", 1))
+        b = Selection(RelationRef("r"), Comparison("x", "=", 2))
+        c = Selection(RelationRef("r"), Comparison("x", "=", 1))
+        assert expression_key(a) != expression_key(b)
+        assert expression_key(a) == expression_key(c)
+
+
+class TestIndexScan:
+    def test_point_query_uses_key_index(self, database):
+        result = database.execute(
+            Selection(RelationRef("employees"), Comparison("emp_id", "=", 42)))
+        assert len(result) == 1
+        assert result.stats.tuples_scanned == 1
+
+    def test_index_respects_extra_conjuncts(self, database):
+        query = Selection(RelationRef("employees"),
+                          Comparison("emp_id", "=", 42) & Comparison("salary", "<", 0.0))
+        assert len(database.execute(query)) == 0
+
+    def test_unhashable_equality_value_falls_back_to_full_scan(self, database):
+        # A list constant can never hash into an index bucket; the scan must fall
+        # back instead of crashing, and agree with the naive evaluator (empty).
+        query = Selection(RelationRef("employees"), Comparison("emp_id", "=", [1, 2]))
+        physical = database.execute(query, executor="physical")
+        naive = database.execute(query, executor="naive")
+        assert physical.tuples == naive.tuples == set()
+
+    def test_dml_after_caching_is_visible(self, database):
+        query = Selection(RelationRef("employees"), Comparison("emp_id", "=", 5000))
+        assert len(database.execute(query)) == 0
+        database.insert("employees", {"emp_id": 5000, "name": "avery", "salary": 1.0,
+                                      "jobtype": "secretary", "typing_speed": 80,
+                                      "foreign_languages": "english"})
+        assert len(database.execute(query)) == 1

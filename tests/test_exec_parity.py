@@ -1,0 +1,262 @@
+"""Differential tests: the physical engine must equal the naive evaluator.
+
+The naive set evaluator in :mod:`repro.algebra.evaluator` is the reference
+implementation.  For randomized expression trees over the workload generators —
+including guard/variant-record edge cases — the physical executor must produce
+exactly the same tuple sets (and raise the same error class where the algebra
+rejects an operation, e.g. merging disagreeing tuples).
+"""
+
+import random
+
+import pytest
+
+from repro.algebra import (
+    Difference,
+    EmptyRelation,
+    Evaluator,
+    Extension,
+    MultiwayJoin,
+    NaturalJoin,
+    OuterUnion,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    TypeGuardNode,
+    Union,
+)
+from repro.algebra.predicates import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    PresencePredicate,
+    TruePredicate,
+)
+from repro.errors import ReproError
+from repro.exec import PhysicalExecutor, PhysicalPlanner
+from repro.model.tuples import FlexTuple
+from repro.workloads.employees import VARIANTS_BY_JOBTYPE, generate_employees
+from repro.workloads.generators import (
+    instance_for_dependency,
+    random_explicit_ad,
+    random_flexible_scheme,
+    random_instance,
+)
+
+
+def _outcome(thunk):
+    """Run a query path, capturing either the tuple set or the error class."""
+    try:
+        return ("ok", thunk().tuples)
+    except ReproError as error:
+        return ("error", type(error))
+
+
+def assert_parity(expression, source, batch_size=7):
+    """Physical and naive execution agree on result (or on the raised error)."""
+    naive = _outcome(lambda: Evaluator(source).evaluate(expression))
+    plan = PhysicalPlanner(source=source).plan(expression)
+    physical = _outcome(lambda: plan.execute(source, batch_size=batch_size))
+    assert physical == naive, "physical {} != naive {}\nplan:\n{}".format(
+        physical[0], naive[0], plan.explain()
+    )
+
+
+# -- fixed sources -------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def employee_source():
+    """Employees (variant records!) plus an assignments relation sharing emp_id."""
+    employees = {FlexTuple(row) for row in generate_employees(80, seed=42)}
+    assignments = {
+        FlexTuple({"emp_id": emp_id, "project": "p{}".format(emp_id % 5)})
+        for emp_id in range(1, 61)
+    }
+    return {"employees": employees, "assignments": assignments}
+
+
+# -- hand-picked guard / variant edge cases ----------------------------------------------
+
+
+class TestVariantEdgeCases:
+    def test_scan_guard_drops_variant_records(self, employee_source):
+        for jobtype, attributes in VARIANTS_BY_JOBTYPE.items():
+            assert_parity(TypeGuardNode(RelationRef("employees"), attributes),
+                          employee_source)
+
+    def test_join_skips_tuples_lacking_join_attributes(self, employee_source):
+        # typing_speed exists only on secretaries: the join attribute set is the
+        # full attribute intersection, so nothing but secretaries can pair up.
+        secretaries = Projection(RelationRef("employees"), ["emp_id", "typing_speed"])
+        assert_parity(NaturalJoin(RelationRef("employees"), secretaries), employee_source)
+
+    def test_join_on_narrower_attributes_raises_on_disagreement(self, employee_source):
+        # Joining on emp_id only while both sides carry (different) salaries must
+        # raise the same error in both engines when a merge disagrees.
+        raised = Rename(
+            Projection(RelationRef("employees"), ["emp_id", "salary"]),
+            {"salary": "pay"},
+        )
+        doubled = Extension(
+            Projection(RelationRef("employees"), ["emp_id"]), "salary", -1.0
+        )
+        assert_parity(NaturalJoin(doubled, Projection(RelationRef("employees"),
+                                                      ["emp_id", "salary"]),
+                                  on=["emp_id"]),
+                      employee_source)
+        assert_parity(NaturalJoin(raised, RelationRef("employees"), on=["emp_id"]),
+                      employee_source)
+
+    def test_multiway_join_preserves_masters_without_partners(self, employee_source):
+        fragment = Projection(
+            TypeGuardNode(RelationRef("employees"), ["typing_speed"]),
+            ["emp_id", "typing_speed"],
+        )
+        master = Projection(RelationRef("employees"), ["emp_id", "name", "jobtype"])
+        assert_parity(MultiwayJoin([master, fragment], on=["emp_id"]), employee_source)
+
+    def test_projection_drops_empty_tuples(self, employee_source):
+        assert_parity(Projection(RelationRef("employees"), ["sales_commission"]),
+                      employee_source)
+
+    def test_rename_can_collapse_tuples(self, employee_source):
+        assert_parity(
+            Rename(Projection(RelationRef("employees"), ["jobtype"]),
+                   {"jobtype": "kind"}),
+            employee_source,
+        )
+
+    def test_difference_union_and_empty(self, employee_source):
+        secretaries = Selection(RelationRef("employees"),
+                                Comparison("jobtype", "=", "secretary"))
+        assert_parity(Difference(RelationRef("employees"), secretaries), employee_source)
+        assert_parity(Union(secretaries, EmptyRelation()), employee_source)
+        assert_parity(OuterUnion(secretaries,
+                                 Selection(RelationRef("employees"),
+                                           Comparison("jobtype", "=", "salesman"))),
+                      employee_source)
+
+    def test_guarded_predicate_on_missing_attribute_is_false(self, employee_source):
+        assert_parity(Selection(RelationRef("employees"),
+                                Comparison("typing_speed", ">", 0)),
+                      employee_source)
+        assert_parity(Selection(RelationRef("employees"),
+                                Not(PresencePredicate(["typing_speed"]))),
+                      employee_source)
+
+
+class TestEngineParity:
+    def test_database_executor_switch_agrees(self, employee_database):
+        query = NaturalJoin(
+            Selection(RelationRef("employees"), Comparison("salary", ">", 4000.0)),
+            Projection(RelationRef("employees"), ["emp_id", "jobtype"]),
+        )
+        physical = employee_database.execute(query, executor="physical")
+        naive = employee_database.execute(query, executor="naive")
+        assert physical.tuples == naive.tuples
+
+    def test_index_scan_matches_full_scan(self, employee_database):
+        query = Selection(RelationRef("employees"), Comparison("emp_id", "=", 7))
+        executor_with = PhysicalExecutor(employee_database, use_indexes=True)
+        executor_without = PhysicalExecutor(employee_database, use_indexes=False)
+        with_index = executor_with.execute(query)
+        without_index = executor_without.execute(query)
+        assert with_index.tuples == without_index.tuples
+        assert with_index.stats.tuples_scanned < without_index.stats.tuples_scanned
+
+
+# -- randomized differential sweep -----------------------------------------------------------
+
+
+def _random_predicate(rng, attributes, values):
+    kind = rng.randrange(6)
+    attribute = rng.choice(attributes)
+    value = rng.choice(values)
+    if kind == 0:
+        return Comparison(attribute, rng.choice(["=", "<", ">", "<=", ">=", "!="]), value)
+    if kind == 1:
+        return PresencePredicate([attribute, rng.choice(attributes)])
+    if kind == 2:
+        return And(Comparison(attribute, ">", value),
+                   Comparison(rng.choice(attributes), "<", rng.choice(values)))
+    if kind == 3:
+        return Or(Comparison(attribute, "=", value),
+                  Comparison(rng.choice(attributes), "=", rng.choice(values)))
+    if kind == 4:
+        return Not(Comparison(attribute, "=", value))
+    return TruePredicate()
+
+
+def _random_expression(rng, names, attributes, values, depth):
+    if depth <= 0 or rng.random() < 0.25:
+        return RelationRef(rng.choice(names))
+    kind = rng.randrange(9)
+    child = lambda: _random_expression(rng, names, attributes, values, depth - 1)
+    if kind == 0:
+        return Selection(child(), _random_predicate(rng, attributes, values))
+    if kind == 1:
+        return TypeGuardNode(child(), rng.sample(attributes, rng.randrange(1, 3)))
+    if kind == 2:
+        return Projection(child(), rng.sample(attributes, rng.randrange(1, 4)))
+    if kind == 3:
+        return Union(child(), child())
+    if kind == 4:
+        return OuterUnion(child(), child())
+    if kind == 5:
+        return Difference(child(), child())
+    if kind == 6:
+        on = rng.sample(attributes, rng.randrange(1, 3)) if rng.random() < 0.5 else None
+        return NaturalJoin(child(), child(), on=on)
+    if kind == 7:
+        return MultiwayJoin([child(), child()], on=rng.sample(attributes, 1))
+    return Extension(child(), "tag{}".format(rng.randrange(4)), rng.choice(values))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_parity_over_generated_schemes(seed):
+    rng = random.Random(1000 + seed)
+    scheme = random_flexible_scheme(base_attributes=3, variant_groups=2,
+                                    attributes_per_group=2, seed=seed)
+    attributes = sorted(a.name for a in scheme.attributes)
+    source = {
+        "r1": set(random_instance(scheme, count=40, seed=seed)),
+        "r2": set(random_instance(scheme, count=30, seed=seed + 50)),
+    }
+    for _ in range(12):
+        expression = _random_expression(rng, ["r1", "r2"], attributes,
+                                        list(range(10)), depth=3)
+        assert_parity(expression, source, batch_size=rng.choice([1, 3, 16, 256]))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_randomized_parity_over_dependency_instances(seed):
+    """Variant-record instances generated from a random explicit AD."""
+    rng = random.Random(2000 + seed)
+    dependency = random_explicit_ad(variant_count=3, attributes_per_variant=2,
+                                    shared_attributes=1, seed=seed)
+    tuples = instance_for_dependency(dependency, base_attributes=("id",), count=50,
+                                     invalid_fraction=0.2, seed=seed)
+    attributes = sorted({a.name for tup in tuples for a in tup.attributes})
+    source = {"r": set(tuples)}
+    for _ in range(10):
+        expression = _random_expression(rng, ["r"], attributes,
+                                        ["kind-1", "kind-2", "kind-3", 1, 2, 3], depth=3)
+        assert_parity(expression, source, batch_size=rng.choice([1, 5, 64]))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_randomized_parity_over_employee_workload(seed, employee_source):
+    rng = random.Random(3000 + seed)
+    attributes = ["emp_id", "name", "salary", "jobtype", "typing_speed",
+                  "foreign_languages", "products", "programming_languages",
+                  "sales_commission", "project"]
+    values = [1, 10, 25, 4000.0, 6000.0, "secretary", "salesman",
+              "software engineer", "p1", "p3"]
+    for _ in range(10):
+        expression = _random_expression(rng, ["employees", "assignments"],
+                                        attributes, values, depth=3)
+        assert_parity(expression, employee_source, batch_size=rng.choice([1, 8, 256]))
