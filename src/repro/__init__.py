@@ -15,10 +15,13 @@ The package is organized in layers:
   type guards and type checking;
 * :mod:`repro.algebra`   — the query algebra and its evaluator;
 * :mod:`repro.optimizer` — AD-driven query rewrites (redundant type guards,
-  excluded variants) and a small planner;
+  excluded variants) and a statistics-aware cost model;
+* :mod:`repro.stats`     — the statistics subsystem: ANALYZE, equi-depth
+  histograms, NDV/min-max/presence fractions and variant-tag frequency tables,
+  bundled in a versioned, mutation-invalidated catalog the planners consult;
 * :mod:`repro.exec`      — the physical execution engine: volcano/batch operators
-  (index-aware scans, hash joins with guard-aware partitioning), a physical
-  planner lowering rewritten expressions, and a plan cache;
+  (index-aware scans, hash joins with guard-aware partitioning, index-lookup
+  joins), a physical planner lowering rewritten expressions, and a plan cache;
 * :mod:`repro.engine`    — an in-memory database with catalog, keys, indexes and
   dependency enforcement on DML;
 * :mod:`repro.er`        — enhanced-ER specializations, their mapping onto flexible
@@ -64,6 +67,13 @@ from repro.exec import (
     PhysicalPlanner,
     PlanCache,
 )
+from repro.stats import (
+    AttributeStatistics,
+    EquiDepthHistogram,
+    StatisticsCatalog,
+    TableStatistics,
+    analyze_table,
+)
 from repro.types import RecordType, TypeGuard, is_record_subtype
 
 __version__ = "1.0.0"
@@ -95,6 +105,11 @@ __all__ = [
     "PhysicalPlan",
     "PhysicalPlanner",
     "PlanCache",
+    "AttributeStatistics",
+    "EquiDepthHistogram",
+    "StatisticsCatalog",
+    "TableStatistics",
+    "analyze_table",
     "RecordType",
     "TypeGuard",
     "is_record_subtype",

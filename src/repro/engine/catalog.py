@@ -32,6 +32,9 @@ class TableDefinition:
         Optional primary key (an attribute set all tuples must carry, unique values).
     dependencies:
         Declared dependencies (explicit ADs, abbreviated ADs, FDs) to be enforced.
+    indexes:
+        Optional secondary hash indexes (each an attribute set) maintained by the
+        engine; index-aware scans and index-lookup joins consult them.
     """
 
     def __init__(
@@ -41,6 +44,7 @@ class TableDefinition:
         domains: Optional[Dict[str, Domain]] = None,
         key=None,
         dependencies: Optional[Sequence[Dependency]] = None,
+        indexes: Optional[Sequence] = None,
     ):
         if not name:
             raise CatalogError("a table needs a non-empty name")
@@ -49,6 +53,7 @@ class TableDefinition:
         self.domains: Dict[str, Domain] = dict(domains or {})
         self.key: Optional[AttributeSet] = attrset(key) if key is not None else None
         self.dependencies: List[Dependency] = list(dependencies or [])
+        self.indexes: List[AttributeSet] = [attrset(index) for index in (indexes or [])]
         self._validate()
 
     def _validate(self) -> None:
@@ -69,6 +74,17 @@ class TableDefinition:
                 raise CatalogError(
                     "dependency {!r} of table {!r} uses attributes outside the scheme".format(
                         dependency, self.name
+                    )
+                )
+        for index in self.indexes:
+            if not index:
+                raise CatalogError(
+                    "table {!r} declares an index over no attributes".format(self.name)
+                )
+            if not index.issubset(scheme_attributes):
+                raise CatalogError(
+                    "index {} of table {!r} uses attributes outside the scheme".format(
+                        index, self.name
                     )
                 )
 

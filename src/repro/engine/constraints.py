@@ -85,6 +85,9 @@ class ConstraintChecker:
             KeyConstraint(definition.key) if definition.key is not None else None
         )
         self.key_index = HashIndex(definition.key) if definition.key is not None else None
+        self._secondary_indexes: List[HashIndex] = [
+            HashIndex(attributes) for attributes in getattr(definition, "indexes", [])
+        ]
         self._dependency_indexes: Dict[AttributeSet, HashIndex] = {}
         if check_dependencies:
             for dependency in definition.dependencies:
@@ -99,20 +102,25 @@ class ConstraintChecker:
         result: List[HashIndex] = []
         if self.key_index is not None:
             result.append(self.key_index)
+        result.extend(self._secondary_indexes)
         result.extend(self._dependency_indexes.values())
         return result
 
     def register_tuple(self, tup: FlexTuple) -> None:
-        """Add a stored tuple to the key and dependency indexes."""
+        """Add a stored tuple to the key, secondary and dependency indexes."""
         if self.key_index is not None:
             self.key_index.add(tup)
+        for index in self._secondary_indexes:
+            index.add(tup)
         for index in self._dependency_indexes.values():
             index.add(tup)
 
     def unregister_tuple(self, tup: FlexTuple) -> None:
-        """Remove a stored tuple from the key and dependency indexes."""
+        """Remove a stored tuple from the key, secondary and dependency indexes."""
         if self.key_index is not None:
             self.key_index.remove(tup)
+        for index in self._secondary_indexes:
+            index.remove(tup)
         for index in self._dependency_indexes.values():
             index.remove(tup)
 

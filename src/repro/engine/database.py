@@ -27,12 +27,19 @@ from repro.model.scheme import FlexibleScheme
 from repro.model.tuples import FlexTuple
 from repro.optimizer.planner import Planner
 from repro.optimizer.rewrite_rules import RewriteReport
+from repro.stats.catalog import StatisticsCatalog
 
 
 class Table:
-    """The stored instance of one table definition, with constraint enforcement."""
+    """The stored instance of one table definition, with constraint enforcement.
 
-    def __init__(self, definition: TableDefinition, enforce: bool = True):
+    Every successful mutation bumps :attr:`mutation_count` and notifies the
+    optional ``on_mutation`` callback — the hook the database uses to invalidate
+    collected statistics the moment they could mislead the planner.
+    """
+
+    def __init__(self, definition: TableDefinition, enforce: bool = True,
+                 on_mutation=None):
         self.definition = definition
         self.checker = ConstraintChecker(
             definition,
@@ -41,6 +48,14 @@ class Table:
             check_dependencies=enforce,
         )
         self._tuples: Set[FlexTuple] = set()
+        #: bumped on every successful insert / update / delete / restore
+        self.mutation_count = 0
+        self._on_mutation = on_mutation
+
+    def _mutated(self, kind: str) -> None:
+        self.mutation_count += 1
+        if self._on_mutation is not None:
+            self._on_mutation(kind)
 
     # -- read access -----------------------------------------------------------------------
 
@@ -98,6 +113,7 @@ class Table:
         self.checker.check_insert(tup)
         self._tuples.add(tup)
         self.checker.register_tuple(tup)
+        self._mutated("insert")
         return tup
 
     def insert_many(self, items: Iterable) -> List[FlexTuple]:
@@ -111,6 +127,7 @@ class Table:
             return False
         self._tuples.remove(tup)
         self.checker.unregister_tuple(tup)
+        self._mutated("delete")
         return True
 
     def delete_where(self, predicate) -> int:
@@ -137,6 +154,7 @@ class Table:
         )
         for tup in self._tuples:
             self.checker.register_tuple(tup)
+        self._mutated("restore")
 
     def update(self, old, **changes) -> FlexTuple:
         """Replace attribute values of a stored tuple.
@@ -161,6 +179,7 @@ class Table:
         self.checker.unregister_tuple(old_tuple)
         self._tuples.add(new_tuple)
         self.checker.register_tuple(new_tuple)
+        self._mutated("update")
         return new_tuple
 
     def __repr__(self) -> str:
@@ -186,11 +205,18 @@ class Database:
         self.enforce_constraints = enforce_constraints
         self._tables: Dict[str, Table] = {}
         self._physical_executor: Optional[PhysicalExecutor] = None
+        #: collected ANALYZE results; the cost model consults this catalog
+        self.statistics = StatisticsCatalog(self)
 
     @property
     def catalog_version(self) -> int:
         """The catalog's schema version (plan-cache invalidation hook)."""
         return self.catalog.version
+
+    @property
+    def statistics_version(self) -> int:
+        """The statistics catalog's version (second plan-cache invalidation hook)."""
+        return self.statistics.version
 
     @property
     def physical_executor(self) -> PhysicalExecutor:
@@ -208,20 +234,32 @@ class Database:
         domains: Optional[Dict[str, Domain]] = None,
         key=None,
         dependencies: Optional[Sequence[Dependency]] = None,
+        indexes: Optional[Sequence] = None,
     ) -> Table:
-        """Register a definition and create its (empty) table."""
+        """Register a definition and create its (empty) table.
+
+        ``indexes`` declares secondary hash indexes (each an attribute set) the
+        engine maintains alongside the key index; index-aware scans and
+        index-lookup joins use them.
+        """
         definition = TableDefinition(
-            name, scheme, domains=domains, key=key, dependencies=dependencies
+            name, scheme, domains=domains, key=key, dependencies=dependencies,
+            indexes=indexes,
         )
         self.catalog.register(definition)
-        table = Table(definition, enforce=self.enforce_constraints)
+        table = Table(
+            definition,
+            enforce=self.enforce_constraints,
+            on_mutation=lambda kind, _name=name: self.statistics.note_mutation(_name, kind),
+        )
         self._tables[name] = table
         return table
 
     def drop_table(self, name: str) -> None:
-        """Remove a table and its definition."""
+        """Remove a table and its definition (and any collected statistics)."""
         self.catalog.unregister(name)
         del self._tables[name]
+        self.statistics.invalidate(name)
 
     def table(self, name: str) -> Table:
         """The stored table registered under ``name``."""
@@ -242,6 +280,32 @@ class Database:
 
     def tables(self) -> List[str]:
         return self.catalog.names()
+
+    # -- statistics -------------------------------------------------------------------------------------
+
+    def analyze(self, name: Optional[str] = None):
+        """Collect planner statistics (ANALYZE) for one table or every table.
+
+        Returns the collected :class:`~repro.stats.TableStatistics` when a name
+        is given, otherwise the database's :class:`~repro.stats.StatisticsCatalog`.
+        Fresh statistics feed the cost model until the next mutation of the
+        analyzed table.
+        """
+        self.statistics.analyze(name)
+        if name is not None:
+            return self.statistics.get(name)
+        return self.statistics
+
+    def stats(self, name: Optional[str] = None):
+        """The last collected statistics (fresh or stale — check ``.stale``).
+
+        With a name: that table's :class:`~repro.stats.TableStatistics` or
+        ``None`` when it was never analyzed.  Without: a dict over every
+        analyzed table.
+        """
+        if name is not None:
+            return self.statistics.peek(name)
+        return {table: self.statistics.peek(table) for table in self.statistics.names()}
 
     # -- DML convenience --------------------------------------------------------------------------------
 
@@ -345,8 +409,13 @@ class _Transaction:
     def __exit__(self, exc_type, exc_value, traceback) -> bool:
         if exc_type is not None:
             for name, snapshot in self._snapshots.items():
-                if name in self._database.catalog:
-                    self._database.table(name).restore(snapshot)
+                if name not in self._database.catalog:
+                    continue
+                table = self._database.table(name)
+                # Only touched tables are restored: an untouched table keeps its
+                # indexes and its fresh planner statistics.
+                if table.snapshot() != snapshot:
+                    table.restore(snapshot)
         return False
 
 

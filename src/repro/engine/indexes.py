@@ -74,6 +74,12 @@ class HashIndex:
         """Iterate over ``(key, tuples)`` buckets."""
         return self._buckets.items()
 
+    def average_bucket_size(self) -> float:
+        """Average tuples per index key — the expected partners of one probe."""
+        if not self._buckets:
+            return 0.0
+        return self._indexed / float(len(self._buckets))
+
     def __len__(self) -> int:
         return self._indexed
 

@@ -12,6 +12,10 @@ Public entry points:
 * :func:`database_to_dict` / :func:`database_from_dict` — plain dictionaries,
 * the per-object converters (``scheme_to_dict``, ``dependency_to_dict``, ...) for
   callers that only need a piece.
+
+Fresh planner statistics (``Database.analyze()``) are written alongside the data
+and restored as fresh on load, so shipped datasets plan well without re-running
+ANALYZE.  Stale statistics are not persisted.
 """
 
 from __future__ import annotations
@@ -40,6 +44,7 @@ from repro.model.domains import (
     StringDomain,
 )
 from repro.model.scheme import FlexibleScheme, UnfoldedScheme
+from repro.stats.statistics import TableStatistics
 
 #: bumped when the JSON layout changes incompatibly
 FORMAT_VERSION = 1
@@ -180,7 +185,11 @@ def dependency_from_dict(data: dict) -> Dependency:
 
 
 def database_to_dict(database: Database, include_data: bool = True) -> dict:
-    """Convert a database (catalog and, optionally, the stored tuples) to a dictionary."""
+    """Convert a database (catalog and, optionally, the stored tuples) to a dictionary.
+
+    Fresh planner statistics ride along with the data (they describe exactly the
+    serialized tuples); without data, or when stale, they are omitted.
+    """
     tables = []
     for name in database.tables():
         definition = database.catalog.definition(name)
@@ -190,12 +199,16 @@ def database_to_dict(database: Database, include_data: bool = True) -> dict:
             "domains": {attr: domain_to_dict(domain) for attr, domain in definition.domains.items()},
             "key": list(definition.key.names) if definition.key is not None else None,
             "dependencies": [dependency_to_dict(d) for d in definition.dependencies],
+            "indexes": [list(index.names) for index in definition.indexes],
         }
         if include_data:
             entry["tuples"] = sorted(
                 (t.as_dict() for t in database.table(name).tuples),
                 key=lambda item: sorted(item.items(), key=lambda pair: (pair[0], repr(pair[1]))),
             )
+            statistics = database.statistics.get(name)
+            if statistics is not None:
+                entry["statistics"] = statistics.to_dict()
         tables.append(entry)
     return {"format_version": FORMAT_VERSION, "tables": tables}
 
@@ -213,9 +226,15 @@ def database_from_dict(data: dict, enforce_constraints: bool = True) -> Database
             domains={attr: domain_from_dict(d) for attr, d in entry.get("domains", {}).items()},
             key=entry.get("key"),
             dependencies=[dependency_from_dict(d) for d in entry.get("dependencies", [])],
+            indexes=entry.get("indexes"),
         )
         for values in entry.get("tuples", []):
             table.insert(values)
+        statistics = entry.get("statistics")
+        if statistics is not None:
+            # The statistics describe exactly the tuples just loaded: restore
+            # them as fresh so the planner can use them without a re-ANALYZE.
+            database.statistics.restore(entry["name"], TableStatistics.from_dict(statistics))
     return database
 
 

@@ -29,6 +29,7 @@ from repro.exec.operators import (
     FilterOp,
     GuardOp,
     HashJoin,
+    IndexLookupJoin,
     MergeUnion,
     MultiwayJoinOp,
     NestedLoopJoin,
@@ -63,6 +64,7 @@ __all__ = [
     "ProductOp",
     "NestedLoopJoin",
     "HashJoin",
+    "IndexLookupJoin",
     "MergeUnion",
     "OuterUnionOp",
     "DifferenceOp",

@@ -65,6 +65,12 @@ def _catalog_version(source) -> object:
     return getattr(source, "catalog_version", None)
 
 
+def _statistics_version(source) -> object:
+    """The source's statistics version (plans depend on the estimates they were
+    chosen under, so a re-ANALYZE or a fresh→stale transition must re-plan)."""
+    return getattr(source, "statistics_version", None)
+
+
 class PhysicalExecutor:
     """Executes logical expressions through cached physical plans.
 
@@ -84,7 +90,8 @@ class PhysicalExecutor:
 
     def plan(self, expression: Expression) -> PhysicalPlan:
         """The (possibly cached) physical plan for ``expression``."""
-        key = (expression_key(expression), _catalog_version(self.source))
+        key = (expression_key(expression), _catalog_version(self.source),
+               _statistics_version(self.source))
         plan = self.cache.get(key)
         if plan is None:
             plan = self.planner.plan(expression)

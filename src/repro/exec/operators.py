@@ -53,6 +53,10 @@ class PhysicalOperator:
     #: operator name used in explain output
     name: str = "physical-op"
 
+    #: cost-model annotations, set by the physical planner (None on hand-built plans)
+    estimated_rows: Optional[float] = None
+    estimated_cost: Optional[float] = None
+
     @property
     def children(self) -> Tuple["PhysicalOperator", ...]:
         return ()
@@ -72,8 +76,18 @@ class PhysicalOperator:
         raise NotImplementedError
 
     def explain(self, indent: int = 0) -> str:
-        """Readable multi-line rendering of the physical plan."""
-        lines = ["  " * indent + self.label()]
+        """Readable multi-line rendering of the physical plan.
+
+        Planner-produced plans carry cost-model annotations which are rendered
+        as ``est_rows`` / ``est_cost`` columns per node.
+        """
+        line = "  " * indent + self.label()
+        if self.estimated_rows is not None:
+            line += "  [est_rows={:.1f}".format(self.estimated_rows)
+            if self.estimated_cost is not None:
+                line += " est_cost={:.1f}".format(self.estimated_cost)
+            line += "]"
+        lines = [line]
         for child in self.children:
             lines.append(child.explain(indent + 1))
         return "\n".join(lines)
@@ -527,6 +541,96 @@ class HashJoin(PhysicalOperator):
     def _count_batch(op: OperatorStats, batch: Batch) -> Batch:
         op.rows_in += len(batch)
         return batch
+
+
+class IndexLookupJoin(PhysicalOperator):
+    """⋈ by probing a maintained hash index of a base relation per outer tuple.
+
+    The statistics-informed planner chooses this operator when the join
+    attributes are known statically, the inner side is a base relation whose
+    engine-maintained hash index covers (a subset of) them, and the *estimated*
+    outer cardinality is small against the inner relation: the inner side is
+    then never scanned at all — only the index buckets matching outer tuples are
+    read, which is the plan-level payoff of knowing that a rare variant tag
+    leaves few outer tuples.  Each bucket partner counts one
+    ``join_pairs_considered``; outer tuples lacking a join attribute cost one
+    guard check (they can never join).
+
+    Without a usable index at execution time (``use_indexes=False``, or the
+    index disappeared), the operator degrades to building the buckets by
+    scanning the inner relation once — hash-join behaviour, identical results.
+    """
+
+    name = "index-lookup-join"
+
+    def __init__(self, outer: PhysicalOperator, relation: str, on):
+        self.outer = outer
+        self.relation = relation
+        self.on = attrset(on)
+        if not self.on:
+            raise AlgebraError("an index lookup join needs join attributes")
+
+    @property
+    def children(self):
+        return (self.outer,)
+
+    def label(self) -> str:
+        return "index-lookup-join[{}, on={}]".format(self.relation, self.on)
+
+    def _maintained_index(self, ctx: ExecutionContext):
+        """The inner relation's hash index covered by the join attributes, if usable."""
+        if not ctx.use_indexes or not hasattr(ctx.source, "relation"):
+            return None
+        try:
+            table = ctx.source.relation(self.relation)
+        except Exception:
+            return None
+        index_for = getattr(table, "index_for", None)
+        if index_for is None:
+            return None
+        return index_for(self.on)
+
+    def _generate(self, ctx, op, outer):
+        op.invocations += 1
+        index = self._maintained_index(ctx)
+        if index is not None:
+            probe_attributes = index.attributes
+            lookup = index.lookup
+        else:
+            # Degraded mode: one scan of the inner relation builds the buckets.
+            probe_attributes = self.on
+            buckets: Dict[tuple, List[FlexTuple]] = {}
+            for tup in _resolve_relation(ctx.source, self.relation):
+                ctx.stats.tuples_scanned += 1
+                ctx.stats.guard_checks += 1
+                if tup.is_defined_on(self.on):
+                    buckets.setdefault(tuple(tup[a] for a in self.on), []).append(tup)
+            lookup = lambda probe: buckets.get(probe, ())  # noqa: E731
+
+        remaining = self.on - probe_attributes
+
+        def emit():
+            seen: Set[FlexTuple] = set()
+            for batch in outer:
+                op.rows_in += len(batch)
+                for outer_tuple in batch:
+                    ctx.stats.guard_checks += 1
+                    if not outer_tuple.is_defined_on(self.on):
+                        continue
+                    probe = tuple(outer_tuple[a] for a in probe_attributes)
+                    partners = lookup(probe)
+                    ctx.stats.join_pairs_considered += len(partners)
+                    for partner in partners:
+                        if not partner.is_defined_on(remaining):
+                            continue
+                        if any(partner[a] != outer_tuple[a] for a in remaining):
+                            continue
+                        merged = outer_tuple.merge(partner)
+                        if merged not in seen:
+                            seen.add(merged)
+                            yield merged
+
+        return self._rebatch(ctx, op, emit())
 
 
 class MergeUnion(PhysicalOperator):

@@ -7,12 +7,22 @@ operators from :mod:`repro.exec.operators`:
 * chains of selections and type guards over a base relation collapse into a
   single :class:`~repro.exec.operators.Scan` with the predicate and guard pushed
   down (and the predicate's implied equalities exposed for index lookup);
-* every :class:`~repro.algebra.expressions.NaturalJoin` is lowered to either a
+* every :class:`~repro.algebra.expressions.NaturalJoin` is lowered to an
+  :class:`~repro.exec.operators.IndexLookupJoin` (when the join attributes are
+  static, the inner side is a base relation with a covering hash index, and the
+  estimated outer cardinality makes probing cheaper than scanning), a
   :class:`~repro.exec.operators.HashJoin` or a
   :class:`~repro.exec.operators.NestedLoopJoin`, decided by the cardinality
-  estimates of :func:`repro.optimizer.cost.estimate_cost`; the smaller estimated
-  input becomes the hash-join build side;
+  estimates of the :class:`~repro.optimizer.cost.CostModel`; the smaller
+  estimated input becomes the hash-join build side;
+* the dependent fragments of a :class:`~repro.algebra.expressions.MultiwayJoin`
+  are merged smallest-estimated-first (the order is semantically free);
 * all remaining operators map one-to-one onto their physical counterparts.
+
+When the source database carries fresh statistics (``Database.analyze()``), the
+cost model estimates from histograms and variant-tag frequencies, so all of the
+above decisions — and the ``est_rows`` / ``est_cost`` annotations rendered by
+``plan.explain()`` — are grounded in the data instead of default constants.
 
 :func:`expression_key` derives a stable structural cache key from an expression,
 which — combined with the engine's catalog version — keys the plan cache in
@@ -49,6 +59,7 @@ from repro.exec.operators import (
     FilterOp,
     GuardOp,
     HashJoin,
+    IndexLookupJoin,
     MergeUnion,
     MultiwayJoinOp,
     NestedLoopJoin,
@@ -59,10 +70,13 @@ from repro.exec.operators import (
     RenameOp,
     Scan,
 )
-from repro.optimizer.cost import estimate_cost
+from repro.optimizer.cost import CostEstimate, CostModel
 
 #: below this many estimated probe×build pairs a nested loop beats the hash setup
 DEFAULT_HASH_JOIN_PAIR_THRESHOLD = 64
+
+#: estimated cost of one index probe relative to reading one tuple in a scan
+INDEX_PROBE_COST_FACTOR = 2.0
 
 
 class PhysicalResult(EvaluationResult):
@@ -111,22 +125,47 @@ class PhysicalPlanner:
     """Lowers logical expressions to physical plans.
 
     ``source`` (a database or mapping) supplies base-relation cardinalities for
-    the hash-vs-nested-loop decision; without it, joins default to hash (which
+    the join-algorithm decisions; without it, joins default to hash (which
     degrades gracefully, whereas a nested loop on large inputs does not).
+    ``statistics`` overrides the statistics catalog consulted by the cost model
+    (by default the source's own, see :class:`~repro.optimizer.cost.CostModel`).
     """
 
     def __init__(self, source=None,
-                 hash_join_pair_threshold: int = DEFAULT_HASH_JOIN_PAIR_THRESHOLD):
+                 hash_join_pair_threshold: int = DEFAULT_HASH_JOIN_PAIR_THRESHOLD,
+                 statistics=None,
+                 index_probe_cost_factor: float = INDEX_PROBE_COST_FACTOR):
         self.source = source
         self.hash_join_pair_threshold = hash_join_pair_threshold
+        self.cost_model = CostModel(source, statistics=statistics)
+        self.index_probe_cost_factor = index_probe_cost_factor
+        self._estimates: dict = {}
 
     def plan(self, expression: Expression) -> PhysicalPlan:
         """Lower ``expression`` into an executable :class:`PhysicalPlan`."""
-        return PhysicalPlan(self._lower(expression), expression)
+        self._estimates = {}
+        try:
+            return PhysicalPlan(self._lower(expression), expression)
+        finally:
+            self._estimates = {}
 
     # -- lowering ------------------------------------------------------------------------
 
+    def _estimate(self, expression: Expression) -> CostEstimate:
+        """Cost-model estimate for a node, memoized per ``plan()`` invocation."""
+        return self.cost_model.estimate(expression, _memo=self._estimates)
+
     def _lower(self, expression: Expression) -> PhysicalOperator:
+        operator = self._lower_node(expression)
+        # Annotate the produced operator with this node's estimate; a Scan that
+        # absorbed a selection/guard chain receives the estimate of the chain's
+        # top node, which is exactly what it computes.
+        estimate = self._estimate(expression)
+        operator.estimated_rows = estimate.cardinality
+        operator.estimated_cost = estimate.work
+        return operator
+
+    def _lower_node(self, expression: Expression) -> PhysicalOperator:
         if isinstance(expression, EmptyRelation):
             return EmptyOp()
         if isinstance(expression, RelationRef):
@@ -157,18 +196,31 @@ class PhysicalPlanner:
         if isinstance(expression, Difference):
             return DifferenceOp(self._lower(expression.left), self._lower(expression.right))
         if isinstance(expression, MultiwayJoin):
-            return MultiwayJoinOp([self._lower(child) for child in expression.inputs],
+            master, fragments = expression.inputs[0], list(expression.inputs[1:])
+            # Merge the smallest estimated fragments into the master first (the
+            # dependent fragments commute, so this only changes intermediate
+            # sizes, never the result).
+            fragments.sort(key=lambda child: self._estimate(child).cardinality)
+            return MultiwayJoinOp([self._lower(child) for child in [master] + fragments],
                                   expression.on)
         if isinstance(expression, NaturalJoin):
             return self._lower_join(expression)
         raise OptimizerError("cannot lower expression node {!r}".format(expression))
 
     def _lower_join(self, expression: NaturalJoin) -> PhysicalOperator:
+        left_estimate = self._estimate(expression.left)
+        right_estimate = self._estimate(expression.right)
+        left_cardinality = left_estimate.cardinality
+        right_cardinality = right_estimate.cardinality
+        index_join = self._index_lookup_join(expression, left_cardinality, right_cardinality)
+        if index_join is not None:
+            return index_join
         left = self._lower(expression.left)
         right = self._lower(expression.right)
-        left_cardinality = estimate_cost(expression.left, self.source).cardinality
-        right_cardinality = estimate_cost(expression.right, self.source).cardinality
-        pairs = left_cardinality * right_cardinality
+        # The nested loop examines |L|×|R| pairs, which is catastrophic when an
+        # estimate is too low — so the decision uses the hard cardinality upper
+        # bounds, not the estimates: a nested loop only for provably tiny inputs.
+        pairs = left_estimate.bound * right_estimate.bound
         known = left_cardinality > 0 and right_cardinality > 0
         if known and pairs <= self.hash_join_pair_threshold:
             return NestedLoopJoin(left, right, on=expression.on)
@@ -176,6 +228,60 @@ class PhysicalPlanner:
         if known and left_cardinality < right_cardinality:
             left, right = right, left
         return HashJoin(left, right, on=expression.on)
+
+    def _index_lookup_join(self, expression: NaturalJoin,
+                           left_cardinality: float,
+                           right_cardinality: float) -> Optional[IndexLookupJoin]:
+        """An :class:`IndexLookupJoin` when probing beats scanning, else ``None``.
+
+        Requires statically known join attributes and a base-relation inner side
+        whose maintained hash index covers (a subset of) them.  The decision
+        compares the estimated probe cost — outer cardinality × (probe factor +
+        the index's average bucket size, i.e. the partners each probe examines)
+        — against the scan the hash join would pay on the inner side.  This is
+        where an accurate outer estimate (e.g. a 1% variant tag from the
+        statistics) flips the plan: the default constants overestimate the
+        outer side and keep the full scan.  A low-NDV index (huge buckets)
+        prices itself out via the fan-out term.
+        """
+        if expression.on is None or self.source is None:
+            return None
+        if not hasattr(self.source, "relation"):
+            return None
+        best = None
+        candidates = (
+            (expression.left, expression.right, left_cardinality),
+            (expression.right, expression.left, right_cardinality),
+        )
+        for outer_expr, inner_expr, outer_cardinality in candidates:
+            if not isinstance(inner_expr, RelationRef) or outer_cardinality <= 0:
+                continue
+            try:
+                table = self.source.relation(inner_expr.name)
+            except Exception:
+                continue
+            index_for = getattr(table, "index_for", None)
+            index = index_for(expression.on) if index_for is not None else None
+            if index is None:
+                continue
+            try:
+                inner_cardinality = len(table)
+            except TypeError:
+                continue
+            fan_out = 1.0
+            bucket_size = getattr(index, "average_bucket_size", None)
+            if bucket_size is not None:
+                fan_out = max(1.0, bucket_size())
+            probe_cost = outer_cardinality * (self.index_probe_cost_factor + fan_out)
+            if probe_cost > inner_cardinality:
+                continue
+            gain = inner_cardinality - probe_cost
+            if best is None or gain > best[0]:
+                best = (gain, outer_expr, inner_expr.name)
+        if best is None:
+            return None
+        _gain, outer_expr, inner_name = best
+        return IndexLookupJoin(self._lower(outer_expr), inner_name, expression.on)
 
 
 def expression_key(expression: Expression) -> Tuple:

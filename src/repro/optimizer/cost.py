@@ -2,12 +2,20 @@
 
 Two notions of cost are used by the optimizer experiments:
 
-* :func:`estimate_cost` — a cheap static estimate based on base-relation
-  cardinalities and default selectivities.  The planner uses it to confirm that a
+* :func:`estimate_cost` — a static estimate based on base-relation cardinalities
+  and selectivities.  When the relation source carries fresh statistics (a
+  :class:`~repro.stats.StatisticsCatalog` populated by ``Database.analyze()``),
+  selection, type-guard and join selectivities come from histograms, most-common
+  values and variant-tag frequency tables; without statistics the model degrades
+  to the classic default constants.  The physical planner uses the estimates to
+  pick join algorithms and build sides; the rewrite planner to confirm that a
   rewrite does not increase the estimated work.
 * :func:`measured_cost` — the exact work counters gathered by actually evaluating
   the expression with :class:`repro.algebra.Evaluator`.  The benchmarks report this
   machine-independent number alongside wall-clock time.
+
+The statistics-aware logic lives in :class:`CostModel`; :func:`estimate_cost`
+remains the convenience wrapper every existing caller uses.
 """
 
 from __future__ import annotations
@@ -30,8 +38,9 @@ from repro.algebra.expressions import (
     TypeGuardNode,
     Union,
 )
-from repro.algebra.predicates import FalsePredicate
+from repro.algebra.predicates import And, FalsePredicate, PresencePredicate
 from repro.errors import OptimizerError, ReproError
+from repro.stats.statistics import TableStatistics, join_selectivity
 
 #: default fraction of tuples surviving a selection when nothing better is known
 DEFAULT_SELECTIVITY = 0.5
@@ -40,14 +49,22 @@ DEFAULT_GUARD_SELECTIVITY = 0.8
 
 
 class CostEstimate:
-    """Estimated output cardinality and cumulative work of an expression."""
+    """Estimated output cardinality and cumulative work of an expression.
 
-    def __init__(self, cardinality: float, work: float):
+    ``bound`` is a *hard upper bound* on the output cardinality (selections can
+    only shrink their input, a join can at most pair everything).  Decisions that
+    are catastrophic when an estimate is too low — choosing a nested-loop join —
+    consult the bound instead of the estimate.
+    """
+
+    def __init__(self, cardinality: float, work: float, bound: Optional[float] = None):
         self.cardinality = cardinality
         self.work = work
+        self.bound = cardinality if bound is None else bound
 
     def __repr__(self) -> str:
-        return "CostEstimate(cardinality={:.1f}, work={:.1f})".format(self.cardinality, self.work)
+        return "CostEstimate(cardinality={:.1f}, work={:.1f}, bound={:.1f})".format(
+            self.cardinality, self.work, self.bound)
 
 
 def _base_cardinality(source, name: str) -> int:
@@ -72,49 +89,173 @@ def _base_cardinality(source, name: str) -> int:
         return 0
 
 
-def estimate_cost(expression: Expression, source=None) -> CostEstimate:
-    """Recursively estimate output cardinality and total work of an expression."""
-    if isinstance(expression, EmptyRelation):
-        return CostEstimate(0.0, 0.0)
-    if isinstance(expression, RelationRef):
-        cardinality = _base_cardinality(source, expression.name)
-        return CostEstimate(cardinality, cardinality)
-    if isinstance(expression, Selection):
-        child = estimate_cost(expression.child, source)
-        if isinstance(expression.predicate, FalsePredicate):
-            return CostEstimate(0.0, child.work)
-        return CostEstimate(child.cardinality * DEFAULT_SELECTIVITY, child.work + child.cardinality)
-    if isinstance(expression, TypeGuardNode):
-        child = estimate_cost(expression.child, source)
-        return CostEstimate(child.cardinality * DEFAULT_GUARD_SELECTIVITY,
-                            child.work + child.cardinality)
-    if isinstance(expression, (Projection, Extension, Rename)):
-        child = estimate_cost(expression.children[0], source)
-        return CostEstimate(child.cardinality, child.work + child.cardinality)
-    if isinstance(expression, (Product, NaturalJoin)):
-        left = estimate_cost(expression.children[0], source)
-        right = estimate_cost(expression.children[1], source)
-        pairs = left.cardinality * right.cardinality
-        cardinality = pairs if isinstance(expression, Product) else pairs * DEFAULT_SELECTIVITY
-        return CostEstimate(cardinality, left.work + right.work + pairs)
-    if isinstance(expression, MultiwayJoin):
-        estimates = [estimate_cost(child, source) for child in expression.children]
-        work = sum(e.work for e in estimates)
-        cardinality = estimates[0].cardinality
-        for estimate in estimates[1:]:
-            work += cardinality
-            cardinality = max(cardinality, estimate.cardinality)
-        return CostEstimate(cardinality, work)
-    if isinstance(expression, Union):
-        left = estimate_cost(expression.children[0], source)
-        right = estimate_cost(expression.children[1], source)
-        return CostEstimate(left.cardinality + right.cardinality,
-                            left.work + right.work + left.cardinality + right.cardinality)
-    if isinstance(expression, Difference):
-        left = estimate_cost(expression.children[0], source)
-        right = estimate_cost(expression.children[1], source)
-        return CostEstimate(left.cardinality, left.work + right.work + left.cardinality)
-    raise OptimizerError("cannot estimate cost of {!r}".format(expression))
+class CostModel:
+    """Statistics-aware cardinality and work estimation.
+
+    ``statistics`` is a :class:`~repro.stats.StatisticsCatalog` (or anything with
+    a ``get(name) -> TableStatistics-or-None`` method).  When omitted, it is taken
+    from ``source.statistics`` — a :class:`~repro.engine.Database` carries one —
+    so a freshly analyzed database automatically estimates from its data.  Every
+    lookup happens per estimate, hence stale statistics (``get`` returning
+    ``None``) transparently fall back to the default constants.
+    """
+
+    def __init__(self, source=None, statistics=None):
+        self.source = source
+        if statistics is None:
+            statistics = getattr(source, "statistics", None)
+        self.statistics = statistics
+
+    # -- statistics access ---------------------------------------------------------------
+
+    def table_statistics(self, name: str) -> Optional[TableStatistics]:
+        """Fresh statistics for a base relation, or ``None``."""
+        if self.statistics is None:
+            return None
+        getter = getattr(self.statistics, "get", None)
+        if getter is None:
+            return None
+        return getter(name)
+
+    def base_statistics(self, expression: Expression) -> Optional[TableStatistics]:
+        """Statistics of the single base relation feeding ``expression``.
+
+        Walks through the operators that keep predicates meaningful against the
+        base table's attribute space (selection, guard, projection); any other
+        shape — joins, unions, renames — yields ``None`` and the default
+        constants apply.
+        """
+        node = expression
+        while isinstance(node, (Selection, TypeGuardNode, Projection)):
+            node = node.children[0]
+        if isinstance(node, RelationRef):
+            return self.table_statistics(node.name)
+        return None
+
+    # -- estimation ----------------------------------------------------------------------
+
+    def estimate(self, expression: Expression,
+                 _memo: Optional[Dict[int, CostEstimate]] = None) -> CostEstimate:
+        """Recursively estimate output cardinality and total work of ``expression``."""
+        memo: Dict[int, CostEstimate] = _memo if _memo is not None else {}
+        cached = memo.get(id(expression))
+        if cached is not None:
+            return cached
+        estimate = self._estimate(expression, memo)
+        memo[id(expression)] = estimate
+        return estimate
+
+    def _estimate(self, expression: Expression, memo: Dict[int, CostEstimate]) -> CostEstimate:
+        if isinstance(expression, EmptyRelation):
+            return CostEstimate(0.0, 0.0)
+        if isinstance(expression, RelationRef):
+            cardinality = _base_cardinality(self.source, expression.name)
+            return CostEstimate(cardinality, cardinality)
+        if isinstance(expression, Selection):
+            child = self.estimate(expression.child, memo)
+            if isinstance(expression.predicate, FalsePredicate):
+                return CostEstimate(0.0, child.work, bound=0.0)
+            cardinality = self._chain_cardinality(expression)
+            if cardinality is None:
+                cardinality = child.cardinality * DEFAULT_SELECTIVITY
+            return CostEstimate(min(cardinality, child.bound),
+                                child.work + child.cardinality, bound=child.bound)
+        if isinstance(expression, TypeGuardNode):
+            child = self.estimate(expression.child, memo)
+            cardinality = self._chain_cardinality(expression)
+            if cardinality is None:
+                cardinality = child.cardinality * DEFAULT_GUARD_SELECTIVITY
+            return CostEstimate(min(cardinality, child.bound),
+                                child.work + child.cardinality, bound=child.bound)
+        if isinstance(expression, (Projection, Extension, Rename)):
+            child = self.estimate(expression.children[0], memo)
+            return CostEstimate(child.cardinality, child.work + child.cardinality,
+                                bound=child.bound)
+        if isinstance(expression, (Product, NaturalJoin)):
+            left = self.estimate(expression.children[0], memo)
+            right = self.estimate(expression.children[1], memo)
+            pairs = left.cardinality * right.cardinality
+            if isinstance(expression, Product):
+                cardinality = pairs
+            else:
+                cardinality = pairs * self._join_selectivity(expression)
+            return CostEstimate(cardinality, left.work + right.work + pairs,
+                                bound=left.bound * right.bound)
+        if isinstance(expression, MultiwayJoin):
+            estimates = [self.estimate(child, memo) for child in expression.children]
+            work = sum(e.work for e in estimates)
+            cardinality = estimates[0].cardinality
+            bound = estimates[0].bound
+            for estimate in estimates[1:]:
+                work += cardinality
+                cardinality = max(cardinality, estimate.cardinality)
+                bound *= max(1.0, estimate.bound)
+            return CostEstimate(cardinality, work, bound=bound)
+        if isinstance(expression, Union):
+            left = self.estimate(expression.children[0], memo)
+            right = self.estimate(expression.children[1], memo)
+            return CostEstimate(left.cardinality + right.cardinality,
+                                left.work + right.work + left.cardinality + right.cardinality,
+                                bound=left.bound + right.bound)
+        if isinstance(expression, Difference):
+            left = self.estimate(expression.children[0], memo)
+            right = self.estimate(expression.children[1], memo)
+            return CostEstimate(left.cardinality, left.work + right.work + left.cardinality,
+                                bound=left.bound)
+        raise OptimizerError("cannot estimate cost of {!r}".format(expression))
+
+    def _chain_cardinality(self, expression: Expression) -> Optional[float]:
+        """Statistics-based output cardinality of a selection/guard chain.
+
+        The whole chain of selections and type guards down to the base relation
+        is combined into one conjunction and estimated against the base table in
+        a single step, so shared presence requirements (a guard plus a
+        comparison on the same attribute, correlated variant attributes) are
+        priced once instead of once per node.  ``None`` when the chain does not
+        end in a base relation with fresh statistics.
+        """
+        parts = []
+        node = expression
+        while isinstance(node, (Selection, TypeGuardNode, Projection)):
+            if isinstance(node, Selection):
+                parts.append(node.predicate)
+            elif isinstance(node, TypeGuardNode):
+                parts.append(PresencePredicate(node.attributes))
+            node = node.children[0]
+        if not isinstance(node, RelationRef):
+            return None
+        statistics = self.table_statistics(node.name)
+        if statistics is None:
+            return None
+        combined = parts[0] if len(parts) == 1 else And(*parts)
+        return _base_cardinality(self.source, node.name) * statistics.selectivity(combined)
+
+    def _join_selectivity(self, expression: NaturalJoin) -> float:
+        """Selectivity of a natural join over the pair count, from both sides' stats."""
+        left_stats = self.base_statistics(expression.left)
+        right_stats = self.base_statistics(expression.right)
+        if left_stats is None or right_stats is None:
+            return DEFAULT_SELECTIVITY
+        if expression.on is not None:
+            attributes = [a.name for a in expression.on]
+        else:
+            # The natural-join attributes are data-dependent; the observed
+            # attribute universes of both sides predict them.
+            attributes = sorted(set(left_stats.attribute_names())
+                                & set(right_stats.attribute_names()))
+            if not attributes:
+                # Disjoint attribute spaces degenerate to a cartesian product.
+                return 1.0
+        return join_selectivity(left_stats, right_stats, attributes)
+
+
+def estimate_cost(expression: Expression, source=None, statistics=None) -> CostEstimate:
+    """Estimate output cardinality and total work of an expression.
+
+    Convenience wrapper over :class:`CostModel`; see there for how ``statistics``
+    is resolved when omitted.
+    """
+    return CostModel(source, statistics=statistics).estimate(expression)
 
 
 def measured_cost(expression: Expression, source) -> ExecutionStats:

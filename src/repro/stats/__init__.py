@@ -1,0 +1,41 @@
+"""Statistics subsystem: ANALYZE, histograms and variant-tag frequency tables.
+
+The fourth planning layer of the system.  ``repro.model`` defines what data
+looks like, ``repro.algebra`` what queries mean, ``repro.exec`` how they run —
+this package tells the planner what the data *is*:
+
+* :mod:`repro.stats.histograms`  — equi-depth histograms over attribute values;
+* :mod:`repro.stats.statistics`  — :func:`analyze_table` producing per-table
+  :class:`TableStatistics`: cardinality, per-attribute NDV / min-max / presence
+  fractions / most-common values, and the paper-specific **variant-tag
+  frequency table** (fraction of tuples satisfying each type guard);
+* :mod:`repro.stats.catalog`     — the :class:`StatisticsCatalog` stored on a
+  :class:`~repro.engine.Database`: versioned, auto-invalidated by DML, and the
+  object :class:`~repro.optimizer.cost.CostModel` consults.
+
+Entry points on the database facade: ``Database.analyze()``,
+``Database.stats()``, and ``Database.plan()`` explain output with
+``est_rows`` / ``est_cost`` derived from these statistics.
+"""
+
+from repro.stats.catalog import StatisticsCatalog
+from repro.stats.histograms import DEFAULT_BUCKETS, EquiDepthHistogram, build_histogram
+from repro.stats.statistics import (
+    DEFAULT_MOST_COMMON,
+    AttributeStatistics,
+    TableStatistics,
+    analyze_table,
+    join_selectivity,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_MOST_COMMON",
+    "AttributeStatistics",
+    "EquiDepthHistogram",
+    "StatisticsCatalog",
+    "TableStatistics",
+    "analyze_table",
+    "build_histogram",
+    "join_selectivity",
+]

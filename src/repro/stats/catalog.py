@@ -1,0 +1,179 @@
+"""The statistics catalog: versioned, mutation-invalidated ANALYZE results.
+
+A :class:`StatisticsCatalog` lives on a :class:`~repro.engine.Database` and is
+the single source the cost model consults.  Its contract:
+
+* :meth:`analyze` collects fresh :class:`~repro.stats.statistics.TableStatistics`
+  for one or all tables and records a *fingerprint* (the table object plus its
+  mutation counter) for each;
+* :meth:`get` hands out statistics **only while they are fresh** — any DML on
+  the table (insert / update / delete / transaction rollback) or a drop of the
+  table makes them stale, so stale distributions can never mislead the planner;
+* stale statistics are kept around (inspect them via :meth:`peek`) and their
+  ``row_count`` is maintained incrementally on inserts and deletes, but the
+  planner falls back to the default constants until the next ANALYZE;
+* :attr:`version` increases whenever the *planning-relevant* state changes:
+  an ANALYZE, an explicit invalidation, the first mutation that turns fresh
+  statistics stale, or — independently of any ANALYZE — a table's cardinality
+  crossing a power-of-two boundary since the version last changed for it.  The
+  last rule matters for never-analyzed databases: plans are cached against the
+  version, and a nested-loop join cached while a table held five rows must be
+  re-planned once the table has grown past a few doublings.  The physical
+  executor mixes this version into its plan cache key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.stats.statistics import TableStatistics, analyze_table
+
+
+class _Entry:
+    """One table's statistics plus the freshness fingerprint they were taken at."""
+
+    __slots__ = ("statistics", "table", "mutation_count")
+
+    def __init__(self, statistics: TableStatistics, table, mutation_count: int):
+        self.statistics = statistics
+        self.table = table
+        self.mutation_count = mutation_count
+
+
+class StatisticsCatalog:
+    """Per-database registry of ANALYZE results with freshness tracking."""
+
+    def __init__(self, database):
+        self._database = database
+        self._entries: Dict[str, _Entry] = {}
+        #: per-table size magnitude (``row_count.bit_length()``) at the last
+        #: version bump — crossing it re-plans cached plans (see class docstring)
+        self._magnitudes: Dict[str, int] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Bumped on ANALYZE, invalidation, and fresh→stale transitions."""
+        return self._version
+
+    # -- collection ----------------------------------------------------------------------
+
+    def analyze(self, name: Optional[str] = None) -> "StatisticsCatalog":
+        """Run ANALYZE over one table (or every table) of the database."""
+        names = [name] if name is not None else self._database.tables()
+        for table_name in names:
+            table = self._database.table(table_name)
+            statistics = analyze_table(table)
+            self._entries[table_name] = _Entry(
+                statistics, table, getattr(table, "mutation_count", 0)
+            )
+        self._version += 1
+        return self
+
+    def restore(self, name: str, statistics: TableStatistics) -> None:
+        """Install deserialized statistics as fresh for the table's current state."""
+        table = self._database.table(name)
+        self._entries[name] = _Entry(statistics, table, getattr(table, "mutation_count", 0))
+        self._version += 1
+
+    # -- lookup --------------------------------------------------------------------------
+
+    def _is_fresh(self, name: str, entry: _Entry) -> bool:
+        if entry.statistics.stale:
+            return False
+        try:
+            table = self._database.table(name)
+        except Exception:
+            return False
+        return table is entry.table and getattr(table, "mutation_count", 0) == entry.mutation_count
+
+    def get(self, name: str) -> Optional[TableStatistics]:
+        """Fresh statistics for ``name``, or ``None`` (never analyzed / gone stale)."""
+        entry = self._entries.get(name)
+        if entry is None or not self._is_fresh(name, entry):
+            return None
+        return entry.statistics
+
+    def peek(self, name: str) -> Optional[TableStatistics]:
+        """The last collected statistics regardless of freshness (``.stale`` tells)."""
+        entry = self._entries.get(name)
+        if entry is None:
+            return None
+        if not self._is_fresh(name, entry):
+            entry.statistics.stale = True
+        return entry.statistics
+
+    def is_fresh(self, name: str) -> bool:
+        entry = self._entries.get(name)
+        return entry is not None and self._is_fresh(name, entry)
+
+    def names(self) -> List[str]:
+        """Every table with collected (fresh or stale) statistics, sorted."""
+        return sorted(self._entries)
+
+    def fresh_names(self) -> List[str]:
+        return [name for name in self.names() if self.is_fresh(name)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    # -- invalidation --------------------------------------------------------------------
+
+    def note_mutation(self, name: str, kind: str) -> None:
+        """Called by the engine on every DML statement against ``name``.
+
+        The first mutation after an ANALYZE turns the statistics stale and bumps
+        the catalog version (invalidating cached plans); row counts keep being
+        maintained incrementally so ``peek`` stays approximately right.  For
+        every table — analyzed or not — a cardinality change across a
+        power-of-two boundary also bumps the version, so cached join-algorithm
+        choices are revisited as tables grow or shrink substantially.
+        """
+        entry = self._entries.get(name)
+        if entry is not None:
+            if not entry.statistics.stale:
+                entry.statistics.stale = True
+                self._version += 1
+            if kind == "insert":
+                entry.statistics.row_count += 1
+            elif kind == "delete":
+                entry.statistics.row_count = max(0, entry.statistics.row_count - 1)
+            elif kind == "restore":
+                # A snapshot restore (transaction rollback) replaces the contents
+                # wholesale: resynchronize from the live table.
+                try:
+                    entry.statistics.row_count = len(self._database.table(name))
+                except Exception:
+                    pass
+        self._track_magnitude(name)
+
+    def _track_magnitude(self, name: str) -> None:
+        try:
+            size = len(self._database.table(name))
+        except Exception:
+            return
+        magnitude = int(size).bit_length()
+        previous = self._magnitudes.get(name)
+        if previous is None:
+            self._magnitudes[name] = magnitude
+        elif magnitude != previous:
+            self._magnitudes[name] = magnitude
+            self._version += 1
+
+    def invalidate(self, name: Optional[str] = None) -> None:
+        """Drop collected statistics (and size tracking) for one or all tables."""
+        if name is None:
+            changed = bool(self._entries)
+            self._entries.clear()
+            self._magnitudes.clear()
+        else:
+            changed = name in self._entries
+            self._entries.pop(name, None)
+            self._magnitudes.pop(name, None)
+        if changed:
+            self._version += 1
+
+    def __repr__(self) -> str:
+        return "StatisticsCatalog(tables={}, fresh={}, version={})".format(
+            self.names(), self.fresh_names(), self._version
+        )

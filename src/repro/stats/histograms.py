@@ -1,0 +1,108 @@
+"""Equi-depth histograms over attribute values.
+
+An equi-depth (equi-height) histogram splits the sorted multiset of observed
+values into buckets holding roughly the same number of values, so skewed
+distributions get fine-grained buckets exactly where the data is dense.  The
+planner asks a histogram one question: *which fraction of the observed values is
+at most a given constant?* (:meth:`EquiDepthHistogram.fraction_leq`); the
+operator-specific logic — and the exact point mass of heavy values, taken from
+the most-common-value counts — lives in
+:meth:`repro.stats.statistics.AttributeStatistics.range_fraction`.
+
+Values only need to be mutually comparable (all numbers, or all strings);
+:func:`build_histogram` returns ``None`` for attribute populations that cannot
+be sorted, and estimation degrades to the default constants upstream.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+#: default number of buckets collected by ANALYZE
+DEFAULT_BUCKETS = 32
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+class EquiDepthHistogram:
+    """An equi-depth histogram: bucket boundaries plus per-bucket counts.
+
+    ``lowers[i] .. uppers[i]`` is the (inclusive) value range of bucket ``i`` and
+    ``counts[i]`` how many observed values fell into it.  Buckets are contiguous
+    in sort order and non-overlapping except possibly at their boundary value
+    (heavy values may span buckets — their count mass is still correct).
+    """
+
+    def __init__(self, lowers: Sequence, uppers: Sequence, counts: Sequence[int]):
+        if not (len(lowers) == len(uppers) == len(counts)) or not counts:
+            raise ValueError("histogram needs parallel, non-empty boundary/count lists")
+        self.lowers = list(lowers)
+        self.uppers = list(uppers)
+        self.counts = [int(c) for c in counts]
+        self.total = sum(self.counts)
+
+    # -- estimation -----------------------------------------------------------------------
+
+    def fraction_leq(self, value) -> float:
+        """Estimated fraction of observed values ``<= value``."""
+        if self.total == 0:
+            return 0.0
+        covered = 0.0
+        for lower, upper, count in zip(self.lowers, self.uppers, self.counts):
+            if upper <= value:
+                covered += count
+            elif lower > value:
+                break
+            else:
+                covered += count * self._within(lower, upper, value)
+        return min(1.0, covered / self.total)
+
+    @staticmethod
+    def _within(lower, upper, value) -> float:
+        """Fraction of a bucket assumed ``<= value`` (linear interpolation)."""
+        if _is_number(lower) and _is_number(upper) and _is_number(value) and upper > lower:
+            return max(0.0, min(1.0, (value - lower) / float(upper - lower)))
+        # Non-numeric bucket (e.g. strings): assume half the bucket qualifies.
+        return 0.5
+
+    # -- serialization --------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"lowers": self.lowers, "uppers": self.uppers, "counts": self.counts}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EquiDepthHistogram":
+        return cls(data["lowers"], data["uppers"], data["counts"])
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __repr__(self) -> str:
+        return "EquiDepthHistogram(buckets={}, values={})".format(len(self.counts), self.total)
+
+
+def build_histogram(values: Sequence, max_buckets: int = DEFAULT_BUCKETS) -> Optional[EquiDepthHistogram]:
+    """Build an equi-depth histogram, or ``None`` for unsortable populations."""
+    if not values or max_buckets < 1:
+        return None
+    try:
+        ordered = sorted(values)
+    except TypeError:
+        return None
+    total = len(ordered)
+    buckets = min(max_buckets, total)
+    lowers: List = []
+    uppers: List = []
+    counts: List[int] = []
+    start = 0
+    for bucket in range(buckets):
+        end = ((bucket + 1) * total) // buckets
+        if end <= start:
+            continue
+        lowers.append(ordered[start])
+        uppers.append(ordered[end - 1])
+        counts.append(end - start)
+        start = end
+    return EquiDepthHistogram(lowers, uppers, counts)

@@ -6,6 +6,9 @@
 * :mod:`repro.workloads.addresses` — the address example of Section 1: unconditioned
   zip code and town, a disjoint union of post-office box and street (with an optional
   house number), and the non-disjoint electronic-communication union.
+* :mod:`repro.workloads.events` — the skewed events/sessions workload (one variant
+  tag at 1% frequency, join sides 10× apart) driving the statistics-planner
+  experiments.
 * :mod:`repro.workloads.generators` — random flexible schemes, explicit ADs and
   heterogeneous instances with controllable error rates, used for scaling sweeps and
   property-based testing.
@@ -27,6 +30,12 @@ from repro.workloads.addresses import (
     address_scheme,
     generate_addresses,
 )
+from repro.workloads.events import (
+    events_scheme,
+    generate_events,
+    sessions_scheme,
+    skewed_join_database,
+)
 from repro.workloads.generators import (
     instance_for_dependency,
     random_explicit_ad,
@@ -47,6 +56,10 @@ __all__ = [
     "address_domains",
     "address_definition",
     "generate_addresses",
+    "events_scheme",
+    "sessions_scheme",
+    "generate_events",
+    "skewed_join_database",
     "random_flexible_scheme",
     "random_explicit_ad",
     "random_instance",
