@@ -198,15 +198,27 @@ REMOVE = _Remove()
 
 
 class Database:
-    """A catalog plus its stored tables; the facade used by examples and benchmarks."""
+    """A catalog plus its stored tables; the facade used by examples and benchmarks.
 
-    def __init__(self, enforce_constraints: bool = True):
+    ``auto_analyze=True`` enables the automatic re-ANALYZE policy: once a table
+    has been analyzed, further DML re-collects its statistics as soon as the
+    mutations since the last ANALYZE exceed ``auto_analyze_fraction`` (~10%) of
+    the rows it had back then.  Off by default — ANALYZE stays an explicit call
+    unless opted in.
+    """
+
+    def __init__(self, enforce_constraints: bool = True,
+                 auto_analyze: bool = False,
+                 auto_analyze_fraction: float = 0.1):
         self.catalog = Catalog()
         self.enforce_constraints = enforce_constraints
         self._tables: Dict[str, Table] = {}
         self._physical_executor: Optional[PhysicalExecutor] = None
         #: collected ANALYZE results; the cost model consults this catalog
-        self.statistics = StatisticsCatalog(self)
+        self.statistics = StatisticsCatalog(
+            self, auto_analyze=auto_analyze,
+            auto_analyze_fraction=auto_analyze_fraction,
+        )
 
     @property
     def catalog_version(self) -> int:
@@ -283,15 +295,21 @@ class Database:
 
     # -- statistics -------------------------------------------------------------------------------------
 
-    def analyze(self, name: Optional[str] = None):
+    def analyze(self, name: Optional[str] = None,
+                sample_size: Optional[int] = None):
         """Collect planner statistics (ANALYZE) for one table or every table.
+
+        ``sample_size`` caps how many tuples ANALYZE reads per table: tables
+        above that row threshold are reservoir-sampled and their cardinality,
+        NDV (GEE-style estimator) and frequency tables are scaled up — cheap at
+        millions of rows, exact enough for planning.  ``None`` reads everything.
 
         Returns the collected :class:`~repro.stats.TableStatistics` when a name
         is given, otherwise the database's :class:`~repro.stats.StatisticsCatalog`.
         Fresh statistics feed the cost model until the next mutation of the
         analyzed table.
         """
-        self.statistics.analyze(name)
+        self.statistics.analyze(name, sample_size=sample_size)
         if name is not None:
             return self.statistics.get(name)
         return self.statistics
@@ -317,54 +335,89 @@ class Database:
 
     # -- queries ------------------------------------------------------------------------------------------
 
+    @staticmethod
+    def _vectorize_flag(mode: Optional[str]) -> Optional[bool]:
+        """Map an execution-mode name to the executor's ``vectorize`` override."""
+        if mode is None:
+            return None
+        if mode == "batch":
+            return True
+        if mode == "row":
+            return False
+        raise CatalogError("unknown execution mode {!r}; use 'batch' or 'row'".format(mode))
+
     def execute(self, expression: Expression, optimize: bool = False,
-                executor: str = "physical") -> EvaluationResult:
+                executor: str = "physical", mode: Optional[str] = None) -> EvaluationResult:
         """Evaluate an algebra expression against the stored tables.
 
         ``executor`` selects the execution engine: ``"physical"`` (default) runs
         the expression through the physical plan layer of :mod:`repro.exec` —
         index-aware scans, hash joins, cached plans; ``"naive"`` runs the
-        reference set evaluator of :mod:`repro.algebra`.  Both produce identical
-        result sets (enforced by the differential test suite).
+        reference set evaluator of :mod:`repro.algebra`.  ``mode`` picks the
+        physical execution mode: ``"batch"`` (vectorized operators, the
+        default), ``"row"`` (tuple-at-a-time), or ``None`` for the executor's
+        default.  All paths produce identical result sets (enforced by the
+        differential test suite).
         """
         result, _report = self.execute_with_report(expression, optimize=optimize,
-                                                   executor=executor)
+                                                   executor=executor, mode=mode)
         return result
 
     def execute_with_report(self, expression: Expression, optimize: bool = True,
-                            executor: str = "physical") -> Tuple[EvaluationResult, RewriteReport]:
+                            executor: str = "physical",
+                            mode: Optional[str] = None) -> Tuple[EvaluationResult, RewriteReport]:
         """Evaluate an expression and also return the optimizer's rewrite report."""
+        vectorize = self._vectorize_flag(mode)
         report = RewriteReport()
         if optimize:
             planner = Planner(catalog=self)
             expression, report = planner.optimize(expression)
         if executor == "physical":
-            return self.physical_executor.execute(expression), report
+            return self.physical_executor.execute(expression, vectorize=vectorize), report
         if executor == "naive":
             evaluator = Evaluator(self)
             return evaluator.evaluate(expression), report
         raise CatalogError("unknown executor {!r}; use 'physical' or 'naive'".format(executor))
 
-    def plan(self, expression: Expression, optimize: bool = True) -> PhysicalPlan:
+    def plan(self, expression: Expression, optimize: bool = True,
+             mode: Optional[str] = None) -> PhysicalPlan:
         """The physical plan the database would run for ``expression``.
 
         With ``optimize=True`` the AD-driven rewrites are applied first, so the
-        plan shows what actually executes; ``plan.explain()`` renders it.
+        plan shows what actually executes; ``mode`` selects ``"batch"`` or
+        ``"row"`` lowering (``plan.mode`` reports what came out);
+        ``plan.explain()`` renders it.
         """
         if optimize:
             planner = Planner(catalog=self)
             expression, _report = planner.optimize(expression)
-        return self.physical_executor.plan(expression)
+        return self.physical_executor.plan(expression,
+                                           vectorize=self._vectorize_flag(mode))
+
+    def explain(self, expression: Expression, optimize: bool = True,
+                mode: Optional[str] = None) -> str:
+        """Human-readable plan for ``expression``, with execution mode and
+        plan-cache counters in the header::
+
+            mode=batch  plan-cache: hits=3 misses=1
+            hash-join[on={event_id}]  [batch] ...
+        """
+        plan = self.plan(expression, optimize=optimize, mode=mode)
+        cache = self.physical_executor.cache_info()
+        header = "mode={}  plan-cache: hits={} misses={}".format(
+            plan.mode, cache["hits"], cache["misses"])
+        return header + "\n" + plan.explain()
 
     def query(self, text: str, optimize: bool = True,
-              executor: str = "physical") -> EvaluationResult:
+              executor: str = "physical", mode: Optional[str] = None) -> EvaluationResult:
         """Parse and evaluate a textual query (see :mod:`repro.query`).
 
         ``db.query("SELECT name FROM employees WHERE jobtype = 'secretary'")``
         """
         from repro.query import parse_query
 
-        return self.execute(parse_query(text), optimize=optimize, executor=executor)
+        return self.execute(parse_query(text), optimize=optimize, executor=executor,
+                            mode=mode)
 
     # -- transactions ----------------------------------------------------------------------------------
 

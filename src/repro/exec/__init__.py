@@ -7,6 +7,10 @@ package decides *how* to run it:
   :class:`Scan` with pushed-down selections and type guards, :class:`HashJoin`
   with guard-aware partitioning for variant records, streaming unions and
   difference, and physical forms of every remaining algebra operator;
+* :mod:`repro.exec.vectorized` + :mod:`repro.exec.compiled` — the vectorized
+  execution path: batch forms of the hot operators streaming column-oriented
+  :class:`~repro.model.batches.TupleBatch` chunks, with selections and type
+  guards compiled once per plan node into closures over column arrays;
 * :mod:`repro.exec.planner`  — the :class:`PhysicalPlanner` lowering (rewritten)
   logical expression trees into :class:`PhysicalPlan` objects, choosing join
   algorithms from the cost model;
@@ -20,8 +24,22 @@ implementation; ``tests/test_exec_parity.py`` differentially checks that both
 produce identical results.
 """
 
-from repro.exec.context import DEFAULT_BATCH_SIZE, ExecutionContext, OperatorStats
+from repro.exec.compiled import CompiledGuard, CompiledPredicate
+from repro.exec.context import (
+    DEFAULT_BATCH_SIZE,
+    VECTOR_BATCH_SIZE,
+    ExecutionContext,
+    OperatorStats,
+)
 from repro.exec.executor import PhysicalExecutor, PlanCache
+from repro.exec.vectorized import (
+    BatchFilter,
+    BatchGuard,
+    BatchHashJoin,
+    BatchIndexLookupJoin,
+    BatchProject,
+    BatchScan,
+)
 from repro.exec.operators import (
     DifferenceOp,
     EmptyOp,
@@ -49,6 +67,15 @@ from repro.exec.planner import (
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "VECTOR_BATCH_SIZE",
+    "BatchFilter",
+    "BatchGuard",
+    "BatchHashJoin",
+    "BatchIndexLookupJoin",
+    "BatchProject",
+    "BatchScan",
+    "CompiledGuard",
+    "CompiledPredicate",
     "ExecutionContext",
     "OperatorStats",
     "PhysicalExecutor",

@@ -1,0 +1,240 @@
+"""One-time compilation of selection predicates and type guards to batch closures.
+
+The row engine re-interprets a :class:`~repro.algebra.predicates.Predicate` tree
+for every tuple: each evaluation re-resolves attribute names, re-looks-up the
+comparison operator and re-dispatches through the predicate class hierarchy.
+This module performs that structural work **once per plan node** and produces a
+closure that runs over the column arrays of a :class:`~repro.model.batches.TupleBatch`:
+
+* :class:`CompiledPredicate` — ``select(batch, indices)`` returns the indices of
+  the rows satisfying the predicate, narrowing an optional candidate list
+  (``None`` means "all rows").  Conjunctions compile into a chain of narrowing
+  passes over a selection vector; ``TRUE``/``FALSE`` operands are constant-folded
+  away at compile time; comparisons run as tight loops over one column with the
+  ``operator``-module function resolved ahead of time.
+* :class:`CompiledGuard` — the type guard ``TG[X]`` as a bitmap test: AND the
+  presence bitmaps of the guarded attributes, then enumerate the set bits.
+
+Semantics are identical to interpreted evaluation (the differential parity suite
+enforces it): a comparison over a ``MISSING`` value is false, a ``TypeError``
+from an incomparable pair is false, any other exception propagates.  The
+comparison loops optimistically run without a per-row ``try`` and redo the batch
+carefully only when a ``TypeError`` actually occurs — mixed-type columns are the
+exception, not the rule.
+
+Predicate classes this module does not know (user-defined subclasses) degrade to
+calling ``predicate.evaluate(row)`` per row, so compilation never changes what a
+plan can express.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.algebra.predicates import (
+    _OPERATORS,
+    And,
+    AttributeComparison,
+    Comparison,
+    FalsePredicate,
+    Not,
+    Or,
+    Predicate,
+    PresencePredicate,
+    TruePredicate,
+)
+from repro.model.attributes import attrset
+from repro.model.batches import MISSING, TupleBatch, mask_indices
+
+#: a narrowing pass: (batch, candidate indices or None) -> surviving indices
+Narrower = Callable[[TupleBatch, Optional[Sequence[int]]], List[int]]
+
+
+def _candidates(batch: TupleBatch, indices: Optional[Sequence[int]]):
+    return range(len(batch)) if indices is None else indices
+
+
+# -- per-row closures (the general path, used under OR / NOT) ---------------------------
+
+
+def _bind_rowfn(predicate: Predicate, batch: TupleBatch) -> Callable[[int], bool]:
+    """A per-row boolean closure over ``batch`` for one predicate node."""
+    if isinstance(predicate, TruePredicate):
+        return lambda i: True
+    if isinstance(predicate, FalsePredicate):
+        return lambda i: False
+    if isinstance(predicate, Comparison):
+        name = next(iter(predicate.attribute)).name
+        op = _OPERATORS[predicate.op]
+        constant = predicate.value
+        values = batch.column(name)
+
+        def compare(i: int) -> bool:
+            value = values[i]
+            if value is MISSING:
+                return False
+            try:
+                return bool(op(value, constant))
+            except TypeError:
+                return False
+
+        return compare
+    if isinstance(predicate, AttributeComparison):
+        left_name = next(iter(predicate.left)).name
+        right_name = next(iter(predicate.right)).name
+        op = _OPERATORS[predicate.op]
+        left_values = batch.column(left_name)
+        right_values = batch.column(right_name)
+
+        def compare_attrs(i: int) -> bool:
+            left, right = left_values[i], right_values[i]
+            if left is MISSING or right is MISSING:
+                return False
+            try:
+                return bool(op(left, right))
+            except TypeError:
+                return False
+
+        return compare_attrs
+    if isinstance(predicate, PresencePredicate):
+        mask = batch.presence_mask([a.name for a in predicate.attributes])
+        return lambda i: bool((mask >> i) & 1)
+    if isinstance(predicate, And):
+        bound = [_bind_rowfn(operand, batch) for operand in predicate.operands]
+        return lambda i: all(fn(i) for fn in bound)
+    if isinstance(predicate, Or):
+        bound = [_bind_rowfn(operand, batch) for operand in predicate.operands]
+        return lambda i: any(fn(i) for fn in bound)
+    if isinstance(predicate, Not):
+        inner = _bind_rowfn(predicate.operand, batch)
+        return lambda i: not inner(i)
+    # Unknown predicate subclass: interpret against the row objects.
+    rows = batch.rows
+    return lambda i: bool(predicate.evaluate(rows[i]))
+
+
+# -- narrowing passes (the vectorized path) ---------------------------------------------
+
+
+def _compile_comparison(predicate: Comparison) -> Narrower:
+    name = next(iter(predicate.attribute)).name
+    op = _OPERATORS[predicate.op]
+    constant = predicate.value
+
+    def narrow(batch: TupleBatch, indices: Optional[Sequence[int]]) -> List[int]:
+        values = batch.column(name)
+        try:
+            if indices is None:
+                return [i for i, value in enumerate(values)
+                        if value is not MISSING and op(value, constant)]
+            return [i for i in indices
+                    if values[i] is not MISSING and op(values[i], constant)]
+        except TypeError:
+            candidates = _candidates(batch, indices)
+            # A mixed-type column hit an incomparable pair: redo this batch with
+            # the per-row guard (that row is simply false, as in the row engine).
+            survivors: List[int] = []
+            append = survivors.append
+            for i in candidates:
+                value = values[i]
+                if value is MISSING:
+                    continue
+                try:
+                    if op(value, constant):
+                        append(i)
+                except TypeError:
+                    pass
+            return survivors
+
+    return narrow
+
+
+def _compile_presence(names: List[str]) -> Narrower:
+    def narrow(batch: TupleBatch, indices: Optional[Sequence[int]]) -> List[int]:
+        if len(names) == 1:
+            values = batch.column(names[0])
+            if indices is None:
+                return [i for i, value in enumerate(values) if value is not MISSING]
+            return [i for i in indices if values[i] is not MISSING]
+        mask = batch.presence_mask(names)
+        if indices is None:
+            if mask == batch.full_mask:
+                return list(range(len(batch)))
+            return mask_indices(mask)
+        return [i for i in indices if (mask >> i) & 1]
+
+    return narrow
+
+
+def _compile_rowwise(predicate: Predicate) -> Narrower:
+    def narrow(batch: TupleBatch, indices: Optional[Sequence[int]]) -> List[int]:
+        rowfn = _bind_rowfn(predicate, batch)
+        return [i for i in _candidates(batch, indices) if rowfn(i)]
+
+    return narrow
+
+
+def _compile(predicate: Predicate) -> List[Narrower]:
+    """Compile a predicate into a chain of narrowing passes (constant-folded)."""
+    if isinstance(predicate, TruePredicate):
+        return []
+    if isinstance(predicate, And):
+        passes: List[Narrower] = []
+        for operand in predicate.operands:
+            if isinstance(operand, FalsePredicate):
+                return [lambda batch, indices: []]
+            passes.extend(_compile(operand))
+        return passes
+    if isinstance(predicate, FalsePredicate):
+        return [lambda batch, indices: []]
+    if isinstance(predicate, Comparison):
+        return [_compile_comparison(predicate)]
+    if isinstance(predicate, PresencePredicate):
+        return [_compile_presence([a.name for a in predicate.attributes])]
+    return [_compile_rowwise(predicate)]
+
+
+class CompiledPredicate:
+    """A predicate compiled once into narrowing passes over batch columns."""
+
+    __slots__ = ("predicate", "_passes")
+
+    def __init__(self, predicate: Predicate):
+        self.predicate = predicate
+        self._passes = _compile(predicate)
+
+    def select(self, batch: TupleBatch,
+               indices: Optional[Sequence[int]] = None) -> List[int]:
+        """Indices of the rows (among ``indices``, or all) satisfying the predicate."""
+        for narrow in self._passes:
+            indices = narrow(batch, indices)
+            if not indices:
+                return indices if isinstance(indices, list) else list(indices)
+        if indices is None:
+            return list(range(len(batch)))
+        return indices if isinstance(indices, list) else list(indices)
+
+    def __repr__(self) -> str:
+        return "CompiledPredicate({!r}, passes={})".format(self.predicate, len(self._passes))
+
+
+class CompiledGuard:
+    """A type guard compiled to a presence test over batch columns
+    (single-attribute guards scan one value array, wider guards AND bitmaps)."""
+
+    __slots__ = ("names", "_narrow")
+
+    def __init__(self, attributes):
+        self.names = [a.name for a in attrset(attributes)]
+        self._narrow = _compile_presence(self.names)
+
+    def mask(self, batch: TupleBatch) -> int:
+        """Bitmap of the rows satisfying the guard."""
+        return batch.presence_mask(self.names)
+
+    def select(self, batch: TupleBatch,
+               indices: Optional[Sequence[int]] = None) -> List[int]:
+        return self._narrow(batch, indices)
+
+    def __repr__(self) -> str:
+        return "CompiledGuard({})".format(self.names)

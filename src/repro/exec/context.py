@@ -18,8 +18,12 @@ from typing import Dict, List, Optional
 
 from repro.algebra.evaluator import ExecutionStats
 
-#: default number of tuples per batch handed between operators
+#: default number of tuples per batch handed between operators (row mode)
 DEFAULT_BATCH_SIZE = 256
+
+#: default batch size for vectorized plans — larger batches amortize the
+#: per-batch column extraction and counter updates across more tuples
+VECTOR_BATCH_SIZE = 1024
 
 
 class OperatorStats:

@@ -2,20 +2,23 @@
 
 :class:`PhysicalExecutor` is the session-level entry point the engine uses.  It
 owns a :class:`PhysicalPlanner` and an LRU :class:`PlanCache` keyed on
-``(expression structure, catalog version)``: hot queries are lowered once and the
-cached plan is reused until the schema changes.  Plans resolve relations and
-indexes at *execution* time, so cached plans stay correct across DML — data
-changes can at worst make a cached join-algorithm choice suboptimal, never wrong.
+``(expression structure, execution mode, catalog version, statistics version)``:
+hot queries are lowered once and the cached plan is reused until the schema or
+the statistics change.  Plans resolve relations and indexes at *execution* time,
+so cached plans stay correct across DML — data changes can at worst make a
+cached join-algorithm choice suboptimal, never wrong.  The cache's hit/miss
+counters are exposed as :attr:`PhysicalExecutor.cache_hits` /
+:attr:`~PhysicalExecutor.cache_misses` (and :meth:`PhysicalExecutor.cache_info`)
+and rendered by ``Database.explain``.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.algebra.evaluator import ExecutionStats
 from repro.algebra.expressions import Expression
-from repro.exec.context import DEFAULT_BATCH_SIZE
 from repro.exec.planner import (
     PhysicalPlan,
     PhysicalPlanner,
@@ -80,28 +83,53 @@ class PhysicalExecutor:
     """
 
     def __init__(self, source, planner: Optional[PhysicalPlanner] = None,
-                 cache_size: int = 128, batch_size: int = DEFAULT_BATCH_SIZE,
-                 use_indexes: bool = True):
+                 cache_size: int = 128, batch_size: Optional[int] = None,
+                 use_indexes: bool = True, vectorize: bool = True):
         self.source = source
-        self.planner = planner if planner is not None else PhysicalPlanner(source=source)
+        self.planner = (planner if planner is not None
+                        else PhysicalPlanner(source=source, vectorize=vectorize))
         self.cache = PlanCache(cache_size)
+        #: ``None`` lets each plan pick its mode's default batch size
         self.batch_size = batch_size
         self.use_indexes = use_indexes
+        self.vectorize = vectorize
 
-    def plan(self, expression: Expression) -> PhysicalPlan:
-        """The (possibly cached) physical plan for ``expression``."""
-        key = (expression_key(expression), _catalog_version(self.source),
-               _statistics_version(self.source))
+    @property
+    def cache_hits(self) -> int:
+        """Plan-cache hits since this executor was created."""
+        return self.cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Plan-cache misses (each one planned an expression from scratch)."""
+        return self.cache.misses
+
+    def cache_info(self) -> Dict[str, int]:
+        """The plan-cache counters as a plain dict (rendered by explain output)."""
+        return {"hits": self.cache.hits, "misses": self.cache.misses,
+                "size": len(self.cache), "max_size": self.cache.max_size}
+
+    def plan(self, expression: Expression,
+             vectorize: Optional[bool] = None) -> PhysicalPlan:
+        """The (possibly cached) physical plan for ``expression``.
+
+        ``vectorize`` overrides the executor's default execution mode for this
+        plan; row and batch plans are cached under distinct keys.
+        """
+        effective = self.vectorize if vectorize is None else vectorize
+        key = (expression_key(expression), effective,
+               _catalog_version(self.source), _statistics_version(self.source))
         plan = self.cache.get(key)
         if plan is None:
-            plan = self.planner.plan(expression)
+            plan = self.planner.plan(expression, vectorize=effective)
             self.cache.put(key, plan)
         return plan
 
     def execute(self, expression: Expression,
-                stats: Optional[ExecutionStats] = None) -> PhysicalResult:
+                stats: Optional[ExecutionStats] = None,
+                vectorize: Optional[bool] = None) -> PhysicalResult:
         """Plan (or fetch from cache) and run ``expression``."""
-        plan = self.plan(expression)
+        plan = self.plan(expression, vectorize=vectorize)
         return plan.execute(self.source, stats=stats, batch_size=self.batch_size,
                             use_indexes=self.use_indexes)
 

@@ -53,6 +53,9 @@ class PhysicalOperator:
     #: operator name used in explain output
     name: str = "physical-op"
 
+    #: True on the batch (vectorized) operator forms of :mod:`repro.exec.vectorized`
+    vectorized: bool = False
+
     #: cost-model annotations, set by the physical planner (None on hand-built plans)
     estimated_rows: Optional[float] = None
     estimated_cost: Optional[float] = None
@@ -82,6 +85,8 @@ class PhysicalOperator:
         as ``est_rows`` / ``est_cost`` columns per node.
         """
         line = "  " * indent + self.label()
+        if self.vectorized:
+            line += "  [batch]"
         if self.estimated_rows is not None:
             line += "  [est_rows={:.1f}".format(self.estimated_rows)
             if self.estimated_cost is not None:
@@ -218,17 +223,18 @@ class Scan(PhysicalOperator):
     # -- pushdown helpers used by the physical planner ----------------------------------
 
     def with_predicate(self, predicate: Predicate) -> "Scan":
-        """A copy with ``predicate`` conjoined to the already-pushed predicate."""
+        """A copy (of the same scan class, row or batch) with ``predicate``
+        conjoined to the already-pushed predicate."""
         from repro.algebra.predicates import And
 
         combined = predicate if self.predicate is None else And(self.predicate, predicate)
-        return Scan(self.relation, predicate=combined, guard=self.guard)
+        return type(self)(self.relation, predicate=combined, guard=self.guard)
 
     def with_guard(self, attributes) -> "Scan":
-        """A copy with ``attributes`` added to the pushed type guard."""
+        """A copy (of the same scan class) with ``attributes`` added to the guard."""
         guard = attrset(attributes) if self.guard is None else self.guard | attrset(attributes)
-        return Scan(self.relation, predicate=self.predicate, guard=guard,
-                    equalities=self.equalities)
+        return type(self)(self.relation, predicate=self.predicate, guard=guard,
+                          equalities=self.equalities)
 
 
 class FilterOp(PhysicalOperator):

@@ -19,6 +19,13 @@ operators from :mod:`repro.exec.operators`:
   are merged smallest-estimated-first (the order is semantically free);
 * all remaining operators map one-to-one onto their physical counterparts.
 
+With ``vectorize=True`` (the default) the hot operators — Scan, Filter, Guard,
+Project, HashJoin with static join attributes, IndexLookupJoin — are lowered to
+their batch forms from :mod:`repro.exec.vectorized` (predicates and guards
+compiled once per node); operators without a batch form stay row-mode inside the
+same plan.  ``PhysicalPlan.mode`` reports ``"batch"`` / ``"mixed"`` / ``"row"``
+and decides the default batch size (~1024 vectorized, 256 row).
+
 When the source database carries fresh statistics (``Database.analyze()``), the
 cost model estimates from histograms and variant-tag frequencies, so all of the
 above decisions — and the ``est_rows`` / ``est_cost`` annotations rendered by
@@ -51,7 +58,7 @@ from repro.algebra.expressions import (
     Union,
 )
 from repro.errors import OptimizerError
-from repro.exec.context import DEFAULT_BATCH_SIZE, ExecutionContext
+from repro.exec.context import DEFAULT_BATCH_SIZE, VECTOR_BATCH_SIZE, ExecutionContext
 from repro.exec.operators import (
     DifferenceOp,
     EmptyOp,
@@ -69,6 +76,14 @@ from repro.exec.operators import (
     ProjectOp,
     RenameOp,
     Scan,
+)
+from repro.exec.vectorized import (
+    BatchFilter,
+    BatchGuard,
+    BatchHashJoin,
+    BatchIndexLookupJoin,
+    BatchProject,
+    BatchScan,
 )
 from repro.optimizer.cost import CostEstimate, CostModel
 
@@ -100,11 +115,37 @@ class PhysicalPlan:
     def __init__(self, root: PhysicalOperator, expression: Optional[Expression] = None):
         self.root = root
         self.expression = expression
+        self._mode: Optional[str] = None
+
+    @property
+    def mode(self) -> str:
+        """The plan's execution mode: ``"batch"`` when every operator runs
+        vectorized, ``"row"`` when none does, ``"mixed"`` otherwise."""
+        if self._mode is None:
+            flags = []
+            pending = [self.root]
+            while pending:
+                node = pending.pop()
+                flags.append(node.vectorized)
+                pending.extend(node.children)
+            if all(flags):
+                self._mode = "batch"
+            elif any(flags):
+                self._mode = "mixed"
+            else:
+                self._mode = "row"
+        return self._mode
 
     def execute(self, source, stats: Optional[ExecutionStats] = None,
-                batch_size: int = DEFAULT_BATCH_SIZE,
+                batch_size: Optional[int] = None,
                 use_indexes: bool = True) -> PhysicalResult:
-        """Run the plan against ``source`` and collect the result set."""
+        """Run the plan against ``source`` and collect the result set.
+
+        ``batch_size=None`` picks the mode's default: ~1024 tuples per batch for
+        vectorized plans, 256 for row plans.
+        """
+        if batch_size is None:
+            batch_size = DEFAULT_BATCH_SIZE if self.mode == "row" else VECTOR_BATCH_SIZE
         ctx = ExecutionContext(source, stats=stats, batch_size=batch_size,
                                use_indexes=use_indexes)
         tuples = set()
@@ -134,20 +175,36 @@ class PhysicalPlanner:
     def __init__(self, source=None,
                  hash_join_pair_threshold: int = DEFAULT_HASH_JOIN_PAIR_THRESHOLD,
                  statistics=None,
-                 index_probe_cost_factor: float = INDEX_PROBE_COST_FACTOR):
+                 index_probe_cost_factor: float = INDEX_PROBE_COST_FACTOR,
+                 vectorize: bool = True):
         self.source = source
         self.hash_join_pair_threshold = hash_join_pair_threshold
-        self.cost_model = CostModel(source, statistics=statistics)
+        self.cost_model = CostModel(source, statistics=statistics,
+                                    vectorized=vectorize)
         self.index_probe_cost_factor = index_probe_cost_factor
+        #: default execution mode: lower hot operators to their batch forms
+        self.vectorize = vectorize
         self._estimates: dict = {}
+        self._vectorize = vectorize
 
-    def plan(self, expression: Expression) -> PhysicalPlan:
-        """Lower ``expression`` into an executable :class:`PhysicalPlan`."""
+    def plan(self, expression: Expression,
+             vectorize: Optional[bool] = None) -> PhysicalPlan:
+        """Lower ``expression`` into an executable :class:`PhysicalPlan`.
+
+        ``vectorize`` overrides the planner default for this one plan: ``True``
+        lowers Scan/Filter/Guard/Project/HashJoin/IndexLookupJoin to their
+        vectorized forms (operators without a batch form stay row-mode inside
+        the same plan), ``False`` produces a pure row plan.
+        """
         self._estimates = {}
+        self._vectorize = self.vectorize if vectorize is None else vectorize
+        self.cost_model.set_vectorized(self._vectorize)
         try:
             return PhysicalPlan(self._lower(expression), expression)
         finally:
             self._estimates = {}
+            self._vectorize = self.vectorize
+            self.cost_model.set_vectorized(self.vectorize)
 
     # -- lowering ------------------------------------------------------------------------
 
@@ -169,19 +226,24 @@ class PhysicalPlanner:
         if isinstance(expression, EmptyRelation):
             return EmptyOp()
         if isinstance(expression, RelationRef):
-            return Scan(expression.name)
+            return BatchScan(expression.name) if self._vectorize else Scan(expression.name)
         if isinstance(expression, Selection):
             child = self._lower(expression.child)
             if isinstance(child, Scan):
                 return child.with_predicate(expression.predicate)
+            if self._vectorize:
+                return BatchFilter(child, expression.predicate)
             return FilterOp(child, expression.predicate)
         if isinstance(expression, TypeGuardNode):
             child = self._lower(expression.child)
             if isinstance(child, Scan):
                 return child.with_guard(expression.attributes)
+            if self._vectorize:
+                return BatchGuard(child, expression.attributes)
             return GuardOp(child, expression.attributes)
         if isinstance(expression, Projection):
-            return ProjectOp(self._lower(expression.child), expression.attributes)
+            project = BatchProject if self._vectorize else ProjectOp
+            return project(self._lower(expression.child), expression.attributes)
         if isinstance(expression, Extension):
             return ExtendOp(self._lower(expression.child), expression.attribute,
                             expression.value)
@@ -227,6 +289,10 @@ class PhysicalPlanner:
         # Build on the smaller estimated input (the right child of HashJoin).
         if known and left_cardinality < right_cardinality:
             left, right = right, left
+        if self._vectorize and expression.on is not None and len(expression.on):
+            # The batch hash join needs statically known join attributes; the
+            # data-dependent natural join keeps the row implementation.
+            return BatchHashJoin(left, right, on=expression.on)
         return HashJoin(left, right, on=expression.on)
 
     def _index_lookup_join(self, expression: NaturalJoin,
@@ -281,7 +347,8 @@ class PhysicalPlanner:
         if best is None:
             return None
         _gain, outer_expr, inner_name = best
-        return IndexLookupJoin(self._lower(outer_expr), inner_name, expression.on)
+        join = BatchIndexLookupJoin if self._vectorize else IndexLookupJoin
+        return join(self._lower(outer_expr), inner_name, expression.on)
 
 
 def expression_key(expression: Expression) -> Tuple:

@@ -8,6 +8,7 @@ the scheme's domain).
 """
 
 from repro.model.attributes import Attribute, AttributeSet, attrset
+from repro.model.batches import MISSING, TupleBatch, mask_indices
 from repro.model.domains import (
     AnyDomain,
     BoolDomain,
@@ -35,6 +36,9 @@ __all__ = [
     "RangeDomain",
     "StringDomain",
     "FlexTuple",
+    "MISSING",
+    "TupleBatch",
+    "mask_indices",
     "FlexibleScheme",
     "SchemeComponent",
     "relational_scheme",

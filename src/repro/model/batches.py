@@ -1,0 +1,159 @@
+"""Column-oriented tuple batches for the vectorized execution path.
+
+The row engine of :mod:`repro.exec.operators` hands plain lists of
+:class:`~repro.model.tuples.FlexTuple` between operators and touches every tuple
+individually — attribute lookups, predicate dispatch and counter updates all pay
+Python interpreter overhead once *per tuple*.  A :class:`TupleBatch` is the
+vectorized alternative: it still owns the row objects (results must be sets of
+``FlexTuple`` in the end, and keeping the references means a filter never has to
+*rebuild* surviving tuples), but exposes the data column-at-a-time:
+
+* :meth:`column` extracts one attribute of every row into a flat value array
+  (``MISSING`` marks rows not defined on the attribute — the structural-variant
+  form of NULL) together with a **presence bitmap**: an ``int`` whose bit ``i``
+  is set exactly when row ``i`` carries the attribute.  Extraction happens once
+  per batch and is cached, so several predicates over the same column share it;
+* :meth:`presence_mask` ANDs the per-attribute bitmaps, turning a type guard
+  ``TG[X]`` into one bitwise operation over the whole batch;
+* :meth:`take` selects rows by index — the output of a compiled predicate — in
+  a single list comprehension.
+
+Batches interoperate with the row engine transparently: they have ``len()`` and
+iterate their rows, which is all the row operators (and the result collector)
+require of a batch, and :meth:`TupleBatch.of` wraps a row-engine list without
+copying.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence
+
+from repro.model.tuples import FlexTuple
+
+
+class _Missing:
+    """Sentinel marking "row is not defined on this attribute" in a column array."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "MISSING"
+
+
+#: the single sentinel instance used in column arrays (compare with ``is``)
+MISSING = _Missing()
+
+
+def mask_indices(mask: int) -> List[int]:
+    """The positions of the set bits of a presence/selection bitmap, ascending."""
+    indices: List[int] = []
+    append = indices.append
+    while mask:
+        low = mask & -mask
+        append(low.bit_length() - 1)
+        mask ^= low
+    return indices
+
+
+class TupleBatch:
+    """A batch of heterogeneous tuples with cached column views.
+
+    ``rows`` is adopted by reference (operators hand over freshly built lists);
+    treat a batch as immutable once constructed — the column cache would go
+    stale otherwise.
+    """
+
+    __slots__ = ("rows", "_columns", "_masks", "_full_mask")
+
+    def __init__(self, rows: List[FlexTuple]):
+        self.rows = rows
+        self._columns: Dict[str, List] = {}
+        self._masks: Dict[str, int] = {}
+        self._full_mask = (1 << len(rows)) - 1
+
+    @classmethod
+    def of(cls, batch) -> "TupleBatch":
+        """Coerce a row-engine batch (any iterable of tuples) without copying lists."""
+        if isinstance(batch, cls):
+            return batch
+        if isinstance(batch, list):
+            return cls(batch)
+        return cls(list(batch))
+
+    @classmethod
+    def from_tuples(cls, tuples: Iterable[FlexTuple]) -> "TupleBatch":
+        """A batch over a copy of ``tuples`` (accepts any iterable)."""
+        return cls(list(tuples))
+
+    # -- container protocol (what the row engine expects of a batch) -----------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[FlexTuple]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def to_tuples(self) -> List[FlexTuple]:
+        """The rows as a plain list (a copy)."""
+        return list(self.rows)
+
+    # -- column access -----------------------------------------------------------------
+
+    @property
+    def full_mask(self) -> int:
+        """The bitmap with one set bit per row (every row selected/present)."""
+        return self._full_mask
+
+    def column(self, name: str) -> List:
+        """One attribute of every row as a flat value array, with ``MISSING`` in
+        rows lacking the attribute.  Extracted once per batch and cached."""
+        values = self._columns.get(name)
+        if values is None:
+            # FlexTuple._values is the tuple's internal attribute dict; the batch
+            # container is the model layer's designated fast path over it.
+            values = [row._values.get(name, MISSING) for row in self.rows]
+            self._columns[name] = values
+        return values
+
+    def column_mask(self, name: str) -> int:
+        """The presence bitmap of one attribute: bit ``i`` set iff row ``i``
+        carries it.  Built lazily — plain comparisons never need it."""
+        mask = self._masks.get(name)
+        if mask is None:
+            mask = 0
+            for i, value in enumerate(self.column(name)):
+                if value is not MISSING:
+                    mask |= 1 << i
+            self._masks[name] = mask
+        return mask
+
+    def presence_mask(self, names: Sequence[str]) -> int:
+        """Bitmap of the rows defined on *every* attribute in ``names``
+        (the whole-batch form of a type guard; all rows for an empty guard)."""
+        mask = self._full_mask
+        for name in names:
+            mask &= self.column_mask(name)
+            if not mask:
+                break
+        return mask
+
+    # -- row selection ------------------------------------------------------------------
+
+    def take(self, indices: Sequence[int]) -> "TupleBatch":
+        """A new batch of the rows at ``indices`` (column caches are not carried)."""
+        rows = self.rows
+        return TupleBatch([rows[i] for i in indices])
+
+    def take_mask(self, mask: int) -> "TupleBatch":
+        """A new batch of the rows whose bit is set in ``mask``."""
+        if mask == self._full_mask:
+            return self
+        return self.take(mask_indices(mask))
+
+    def __repr__(self) -> str:
+        return "TupleBatch({} rows, {} cached columns)".format(
+            len(self.rows), len(self._columns)
+        )

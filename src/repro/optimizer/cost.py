@@ -47,6 +47,13 @@ DEFAULT_SELECTIVITY = 0.5
 #: default fraction of tuples surviving a type guard
 DEFAULT_GUARD_SELECTIVITY = 0.8
 
+#: relative per-tuple cost of interpreted (row-at-a-time) operator work
+ROW_TUPLE_COST = 1.0
+#: relative per-tuple cost in vectorized operators: compiled predicates and
+#: bulk counter updates amortize interpreter overhead across a batch, so one
+#: tuple of selection/guard/reshaping work is ~4× cheaper than in row mode
+VECTORIZED_TUPLE_COST = 0.25
+
 
 class CostEstimate:
     """Estimated output cardinality and cumulative work of an expression.
@@ -100,11 +107,20 @@ class CostModel:
     ``None``) transparently fall back to the default constants.
     """
 
-    def __init__(self, source=None, statistics=None):
+    def __init__(self, source=None, statistics=None, vectorized: bool = False):
         self.source = source
         if statistics is None:
             statistics = getattr(source, "statistics", None)
         self.statistics = statistics
+        #: per-tuple work factor for selection/guard/reshaping nodes; the
+        #: vectorized engine pays less interpreter overhead per tuple
+        self.tuple_cost = VECTORIZED_TUPLE_COST if vectorized else ROW_TUPLE_COST
+
+    def set_vectorized(self, vectorized: bool) -> None:
+        """Re-point the per-tuple work factor at the given execution mode (the
+        physical planner calls this per plan, so per-call mode overrides are
+        priced with the right constants)."""
+        self.tuple_cost = VECTORIZED_TUPLE_COST if vectorized else ROW_TUPLE_COST
 
     # -- statistics access ---------------------------------------------------------------
 
@@ -159,17 +175,20 @@ class CostModel:
             if cardinality is None:
                 cardinality = child.cardinality * DEFAULT_SELECTIVITY
             return CostEstimate(min(cardinality, child.bound),
-                                child.work + child.cardinality, bound=child.bound)
+                                child.work + child.cardinality * self.tuple_cost,
+                                bound=child.bound)
         if isinstance(expression, TypeGuardNode):
             child = self.estimate(expression.child, memo)
             cardinality = self._chain_cardinality(expression)
             if cardinality is None:
                 cardinality = child.cardinality * DEFAULT_GUARD_SELECTIVITY
             return CostEstimate(min(cardinality, child.bound),
-                                child.work + child.cardinality, bound=child.bound)
+                                child.work + child.cardinality * self.tuple_cost,
+                                bound=child.bound)
         if isinstance(expression, (Projection, Extension, Rename)):
             child = self.estimate(expression.children[0], memo)
-            return CostEstimate(child.cardinality, child.work + child.cardinality,
+            return CostEstimate(child.cardinality,
+                                child.work + child.cardinality * self.tuple_cost,
                                 bound=child.bound)
         if isinstance(expression, (Product, NaturalJoin)):
             left = self.estimate(expression.children[0], memo)

@@ -22,20 +22,26 @@ from repro.stats.catalog import StatisticsCatalog
 from repro.stats.histograms import DEFAULT_BUCKETS, EquiDepthHistogram, build_histogram
 from repro.stats.statistics import (
     DEFAULT_MOST_COMMON,
+    DEFAULT_SAMPLE_SEED,
     AttributeStatistics,
     TableStatistics,
     analyze_table,
+    estimate_ndv,
     join_selectivity,
+    reservoir_sample,
 )
 
 __all__ = [
     "DEFAULT_BUCKETS",
     "DEFAULT_MOST_COMMON",
+    "DEFAULT_SAMPLE_SEED",
     "AttributeStatistics",
     "EquiDepthHistogram",
     "StatisticsCatalog",
     "TableStatistics",
     "analyze_table",
     "build_histogram",
+    "estimate_ndv",
     "join_selectivity",
+    "reservoir_sample",
 ]

@@ -32,24 +32,45 @@ from repro.stats.statistics import TableStatistics, analyze_table
 class _Entry:
     """One table's statistics plus the freshness fingerprint they were taken at."""
 
-    __slots__ = ("statistics", "table", "mutation_count")
+    __slots__ = ("statistics", "table", "mutation_count", "analyzed_rows",
+                 "sample_size")
 
-    def __init__(self, statistics: TableStatistics, table, mutation_count: int):
+    def __init__(self, statistics: TableStatistics, table, mutation_count: int,
+                 sample_size: Optional[int] = None):
         self.statistics = statistics
         self.table = table
         self.mutation_count = mutation_count
+        #: row count at ANALYZE time — the baseline of the auto-ANALYZE threshold
+        self.analyzed_rows = statistics.row_count
+        #: the sampling knob ANALYZE was run with (auto re-ANALYZE reuses it)
+        self.sample_size = sample_size
 
 
 class StatisticsCatalog:
-    """Per-database registry of ANALYZE results with freshness tracking."""
+    """Per-database registry of ANALYZE results with freshness tracking.
 
-    def __init__(self, database):
+    ``auto_analyze=True`` additionally re-runs ANALYZE on a previously analyzed
+    table as soon as the mutations since its last ANALYZE exceed
+    ``auto_analyze_fraction`` of the rows it had back then — but never fewer
+    than ``auto_analyze_min_mutations``, so tiny tables are not re-analyzed on
+    every single insert during a bulk load.  The re-ANALYZE reuses the table's
+    last ``sample_size``, so sampled tables stay cheap to refresh.  Off by
+    default: statistics only move on explicit calls.
+    """
+
+    def __init__(self, database, auto_analyze: bool = False,
+                 auto_analyze_fraction: float = 0.1,
+                 auto_analyze_min_mutations: int = 5):
         self._database = database
         self._entries: Dict[str, _Entry] = {}
         #: per-table size magnitude (``row_count.bit_length()``) at the last
         #: version bump — crossing it re-plans cached plans (see class docstring)
         self._magnitudes: Dict[str, int] = {}
         self._version = 0
+        self.auto_analyze = auto_analyze
+        self.auto_analyze_fraction = auto_analyze_fraction
+        self.auto_analyze_min_mutations = max(1, int(auto_analyze_min_mutations))
+        self._auto_analyzing = False
 
     @property
     def version(self) -> int:
@@ -58,14 +79,21 @@ class StatisticsCatalog:
 
     # -- collection ----------------------------------------------------------------------
 
-    def analyze(self, name: Optional[str] = None) -> "StatisticsCatalog":
-        """Run ANALYZE over one table (or every table) of the database."""
+    def analyze(self, name: Optional[str] = None,
+                sample_size: Optional[int] = None) -> "StatisticsCatalog":
+        """Run ANALYZE over one table (or every table) of the database.
+
+        ``sample_size`` reservoir-samples tables above that row threshold and
+        scales their statistics (see :func:`~repro.stats.statistics.analyze_table`);
+        ``None`` reads every tuple.
+        """
         names = [name] if name is not None else self._database.tables()
         for table_name in names:
             table = self._database.table(table_name)
-            statistics = analyze_table(table)
+            statistics = analyze_table(table, sample_size=sample_size)
             self._entries[table_name] = _Entry(
-                statistics, table, getattr(table, "mutation_count", 0)
+                statistics, table, getattr(table, "mutation_count", 0),
+                sample_size=sample_size,
             )
         self._version += 1
         return self
@@ -146,6 +174,23 @@ class StatisticsCatalog:
                 except Exception:
                     pass
         self._track_magnitude(name)
+        if entry is not None:
+            self._maybe_auto_analyze(name, entry)
+
+    def _maybe_auto_analyze(self, name: str, entry: _Entry) -> None:
+        """Re-ANALYZE ``name`` when its mutations passed the auto threshold."""
+        if not self.auto_analyze or self._auto_analyzing:
+            return
+        mutations = getattr(entry.table, "mutation_count", 0) - entry.mutation_count
+        threshold = max(self.auto_analyze_min_mutations,
+                        int(self.auto_analyze_fraction * entry.analyzed_rows))
+        if mutations < threshold:
+            return
+        self._auto_analyzing = True
+        try:
+            self.analyze(name, sample_size=entry.sample_size)
+        finally:
+            self._auto_analyzing = False
 
     def _track_magnitude(self, name: str) -> None:
         try:

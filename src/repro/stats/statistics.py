@@ -23,6 +23,8 @@ plus both sides' tag frequencies on the join attributes).
 
 from __future__ import annotations
 
+import math
+import random
 from collections import Counter
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
@@ -45,6 +47,9 @@ DEFAULT_MOST_COMMON = 16
 
 #: selectivity assumed for predicate shapes the statistics cannot estimate
 FALLBACK_SELECTIVITY = 0.5
+
+#: seed of the reservoir sampler (deterministic ANALYZE unless overridden)
+DEFAULT_SAMPLE_SEED = 0x5EED
 
 
 def _clamp(fraction: float) -> float:
@@ -219,6 +224,11 @@ class TableStatistics:
         }
         #: set by the catalog when the underlying table mutated after ANALYZE
         self.stale = False
+        #: True when ANALYZE read a reservoir sample instead of every tuple;
+        #: counts/NDV are then scaled estimates, ``sample_rows`` tells how many
+        #: tuples were actually read
+        self.sampled = False
+        self.sample_rows: Optional[int] = None
 
     # -- introspection --------------------------------------------------------------------
 
@@ -362,6 +372,8 @@ class TableStatistics:
         return {
             "name": self.name,
             "row_count": self.row_count,
+            "sampled": self.sampled,
+            "sample_rows": self.sample_rows,
             "attributes": {name: stats.to_dict() for name, stats in self.attributes.items()},
             "variants": [
                 {"attributes": sorted(combo), "count": count}
@@ -372,7 +384,7 @@ class TableStatistics:
 
     @classmethod
     def from_dict(cls, data: dict) -> "TableStatistics":
-        return cls(
+        statistics = cls(
             data["name"],
             data["row_count"],
             attributes={name: AttributeStatistics.from_dict(entry)
@@ -380,10 +392,14 @@ class TableStatistics:
             variant_counts={frozenset(entry["attributes"]): entry["count"]
                             for entry in data.get("variants", [])},
         )
+        statistics.sampled = bool(data.get("sampled", False))
+        statistics.sample_rows = data.get("sample_rows")
+        return statistics
 
     def __repr__(self) -> str:
-        return "TableStatistics({!r}, rows={}, attributes={}, variants={}{})".format(
+        return "TableStatistics({!r}, rows={}, attributes={}, variants={}{}{})".format(
             self.name, self.row_count, len(self.attributes), len(self.variant_counts),
+            ", sampled" if self.sampled else "",
             ", stale" if self.stale else "",
         )
 
@@ -404,10 +420,52 @@ def join_selectivity(left: TableStatistics, right: TableStatistics, attributes) 
     return _clamp(selectivity)
 
 
+def reservoir_sample(tuples: Iterable, sample_size: int,
+                     seed: int = DEFAULT_SAMPLE_SEED) -> Tuple[List, int]:
+    """Algorithm-R reservoir sampling in one streaming pass.
+
+    Returns ``(sample, total)`` where ``sample`` holds ``min(sample_size, total)``
+    uniformly chosen items and ``total`` is the number of items seen — the pass
+    that samples also counts, so the true cardinality stays exact.
+    """
+    rng = random.Random(seed)
+    randrange = rng.randrange
+    sample: List = []
+    append = sample.append
+    total = 0
+    for item in tuples:
+        if total < sample_size:
+            append(item)
+        else:
+            slot = randrange(total + 1)
+            if slot < sample_size:
+                sample[slot] = item
+        total += 1
+    return sample, total
+
+
+def estimate_ndv(sample_ndv: int, singletons: int, sample_rows: int,
+                 total_rows: int) -> int:
+    """GEE (Guaranteed-Error Estimator) scale-up of a sampled distinct count.
+
+    ``sqrt(n/r) · f₁ + (d − f₁)``: values seen once in the sample (``f₁``) are
+    the ones whose population frequency is uncertain, so their count is scaled
+    by ``sqrt(n/r)``; values seen repeatedly were going to be seen anyway.
+    Clamped to ``[d, n]``.
+    """
+    if sample_rows <= 0 or total_rows <= sample_rows:
+        return sample_ndv
+    scale = math.sqrt(total_rows / float(sample_rows))
+    estimate = scale * singletons + (sample_ndv - singletons)
+    return int(min(max(estimate, sample_ndv), total_rows))
+
+
 def analyze_table(
     table,
     max_buckets: int = DEFAULT_BUCKETS,
     most_common: int = DEFAULT_MOST_COMMON,
+    sample_size: Optional[int] = None,
+    seed: int = DEFAULT_SAMPLE_SEED,
 ) -> TableStatistics:
     """Collect :class:`TableStatistics` from a stored table (or any tuple iterable).
 
@@ -415,18 +473,44 @@ def analyze_table(
     :class:`~repro.model.tuples.FlexTuple`-like objects; this covers
     :class:`repro.engine.Table`, :class:`repro.model.relation.FlexibleRelation`
     and plain collections of tuples.
+
+    ``sample_size`` turns on sampling-based ANALYZE: tables with more rows than
+    the threshold are reservoir-sampled (one streaming pass, Algorithm R) and
+    per-attribute statistics are computed on the sample, then scaled to the
+    exact total row count — presence counts and variant-tag/most-common-value
+    frequencies linearly, distinct counts with the GEE estimator
+    (:func:`estimate_ndv`).  Tables at or below the threshold are analyzed
+    exactly, so small tables lose nothing.
     """
     name = getattr(table, "name", None) or "<anonymous>"
+    sampled = False
+    total_rows: Optional[int] = None
+    rows = table
+    if sample_size is not None and sample_size > 0:
+        sample, total = reservoir_sample(table, sample_size, seed=seed)
+        # The sampling pass consumed the source, so analysis always proceeds
+        # from the reservoir: below the threshold it holds every tuple (exact
+        # statistics, and one-shot iterables / re-iterable tables both read
+        # exactly once); above it the statistics are scaled up.
+        rows = sample
+        if total > sample_size:
+            sampled = True
+            total_rows = total
+
     values_by_attribute: Dict[str, List] = {}
     variant_counts: Counter = Counter()
     row_count = 0
-    for tup in table:
+    for tup in rows:
         row_count += 1
         names: List[str] = []
         for attribute, value in tup.items():
             names.append(attribute)
             values_by_attribute.setdefault(attribute, []).append(value)
         variant_counts[frozenset(names)] += 1
+
+    if total_rows is None:
+        total_rows = row_count
+    scale = total_rows / float(row_count) if row_count else 1.0
 
     attributes: Dict[str, AttributeStatistics] = {}
     for attribute, values in values_by_attribute.items():
@@ -437,15 +521,32 @@ def analyze_table(
             min_value, max_value = min(values), max(values)
         except TypeError:
             min_value = max_value = None
+        if sampled:
+            singletons = sum(1 for count in counter.values() if count == 1)
+            present = int(round(len(values) * scale))
+            ndv = estimate_ndv(ndv, singletons, len(values), present)
+            top = {value: max(1, int(round(count * scale)))
+                   for value, count in top.items()}
+            complete = False
+        else:
+            present = len(values)
+            complete = len(counter) <= len(top)
         attributes[attribute] = AttributeStatistics(
             attribute,
-            row_count,
-            present_count=len(values),
+            total_rows,
+            present_count=present,
             ndv=ndv,
             min_value=min_value,
             max_value=max_value,
             histogram=build_histogram(values, max_buckets=max_buckets),
             most_common=top,
-            mcv_complete=ndv <= len(top),
+            mcv_complete=complete,
         )
-    return TableStatistics(name, row_count, attributes, dict(variant_counts))
+
+    if sampled:
+        variant_counts = Counter({combo: max(1, int(round(count * scale)))
+                                  for combo, count in variant_counts.items()})
+    statistics = TableStatistics(name, total_rows, attributes, dict(variant_counts))
+    statistics.sampled = sampled
+    statistics.sample_rows = row_count if sampled else None
+    return statistics

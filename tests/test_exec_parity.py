@@ -5,6 +5,10 @@ implementation.  For randomized expression trees over the workload generators â€
 including guard/variant-record edge cases â€” the physical executor must produce
 exactly the same tuple sets (and raise the same error class where the algebra
 rejects an operation, e.g. merging disagreeing tuples).
+
+Every check runs the whole corpus through **both** physical modes: the row
+engine and the vectorized batch engine (compiled predicates, column arrays), so
+the batch path is differentially verified against the naive evaluator too.
 """
 
 import random
@@ -56,13 +60,15 @@ def _outcome(thunk):
 
 
 def assert_parity(expression, source, batch_size=7):
-    """Physical and naive execution agree on result (or on the raised error)."""
+    """Physical execution â€” row mode AND the vectorized batch mode â€” agrees
+    with the naive evaluator on the result (or on the raised error class)."""
     naive = _outcome(lambda: Evaluator(source).evaluate(expression))
-    plan = PhysicalPlanner(source=source).plan(expression)
-    physical = _outcome(lambda: plan.execute(source, batch_size=batch_size))
-    assert physical == naive, "physical {} != naive {}\nplan:\n{}".format(
-        physical[0], naive[0], plan.explain()
-    )
+    for vectorize in (False, True):
+        plan = PhysicalPlanner(source=source, vectorize=vectorize).plan(expression)
+        physical = _outcome(lambda: plan.execute(source, batch_size=batch_size))
+        assert physical == naive, "physical[{}] {} != naive {}\nplan:\n{}".format(
+            plan.mode, physical[0], naive[0], plan.explain()
+        )
 
 
 # -- fixed sources -------------------------------------------------------------------------
