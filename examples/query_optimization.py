@@ -13,16 +13,31 @@ counters:
 3. a selection over the outer union of fragments where two of three fragments can be
    pruned.
 
+It then moves to the n-way workload: a 5-way star join written in a naive
+smallest-dimension-first order, showing the join order and work counters
+*before* (``join_order_search="none"``) and *after* the cost-based DP
+join-order search, together with the search's own statistics (subsets
+enumerated, candidate plans pruned).
+
 Run with::
 
     python examples/query_optimization.py
 """
 
-from repro.algebra import Extension, OuterUnion, RelationRef, Selection, TypeGuardNode
+from repro.algebra import (
+    Extension,
+    NaturalJoin,
+    OuterUnion,
+    RelationRef,
+    Selection,
+    TypeGuardNode,
+)
 from repro.algebra.predicates import Comparison
 from repro.engine import Database
 from repro.er import horizontal_decomposition
+from repro.exec import PhysicalPlanner
 from repro.workloads.employees import employee_definition, employee_dependency, generate_employees
+from repro.workloads.star import star_join_database
 
 
 def build_database(size=2000):
@@ -58,6 +73,43 @@ def run(database, label, query):
           " saving: {:.0%}".format(1 - optimized.stats.total_work / max(1, plain.stats.total_work)))
 
 
+def five_way_join_order():
+    """The 5-way star join before and after the DP join-order search."""
+    database = star_join_database(fact_rows=2000)
+    database.analyze()
+    # A naive written order: smallest dimension first, the selective one last.
+    query = NaturalJoin(RelationRef("dim_small"), RelationRef("fact"), on=["ds"])
+    query = NaturalJoin(query, RelationRef("dim_a"), on=["da"])
+    query = NaturalJoin(query, RelationRef("dim_b"), on=["db"])
+    query = NaturalJoin(query, Selection(RelationRef("dim_rare"),
+                                         Comparison("kind", "=", "rare")),
+                        on=["dr"])
+
+    print("\n-- 5-way star join: cost-based join-order search")
+    runs = {}
+    for mode in ("none", "dp"):
+        plan = PhysicalPlanner(database, join_order_search=mode).plan(query)
+        result = plan.execute(database)
+        runs[mode] = result
+        label = "written order" if mode == "none" else "DP-chosen order"
+        print("   [{}]".format(label))
+        for line in plan.explain().splitlines():
+            print("     ", line)
+        print("      tuples:", len(result),
+              " join_pairs:", result.stats.join_pairs_considered,
+              " total work:", result.stats.total_work)
+        if plan.join_search:
+            report = plan.join_search[0]
+            print("      search: mode={} subsets={} considered={} pruned={}".format(
+                report.mode, report.subsets_enumerated, report.plans_considered,
+                report.plans_pruned))
+    before, after = runs["none"].stats, runs["dp"].stats
+    print("   identical results:", runs["none"].tuples == runs["dp"].tuples,
+          " join pairs {} -> {} ({:.0f}x fewer)".format(
+              before.join_pairs_considered, after.join_pairs_considered,
+              before.join_pairs_considered / max(1, after.join_pairs_considered)))
+
+
 def main():
     database = build_database()
 
@@ -80,6 +132,8 @@ def main():
     run(database, "selection over the outer union of the three fragments",
         Selection(union, Comparison("fragment", "=", "secretary")
                   & Comparison("salary", ">", 5000.0)))
+
+    five_way_join_order()
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from repro.model.domains import Domain
 from repro.model.relation import FlexibleRelation
 from repro.model.scheme import FlexibleScheme
 from repro.model.tuples import FlexTuple
+from repro.optimizer.joinorder import SEARCH_MODES
 from repro.optimizer.planner import Planner
 from repro.optimizer.rewrite_rules import RewriteReport
 from repro.stats.catalog import StatisticsCatalog
@@ -205,15 +206,26 @@ class Database:
     mutations since the last ANALYZE exceed ``auto_analyze_fraction`` (~10%) of
     the rows it had back then.  Off by default — ANALYZE stays an explicit call
     unless opted in.
+
+    ``join_order_search`` selects the physical planner's n-way join-order
+    strategy (``"dp"`` — the default Selinger-style search — or ``"greedy"``,
+    ``"smallest"``, ``"none"``; see :mod:`repro.optimizer.joinorder`).
     """
 
     def __init__(self, enforce_constraints: bool = True,
                  auto_analyze: bool = False,
-                 auto_analyze_fraction: float = 0.1):
+                 auto_analyze_fraction: float = 0.1,
+                 join_order_search: Optional[str] = None):
         self.catalog = Catalog()
         self.enforce_constraints = enforce_constraints
         self._tables: Dict[str, Table] = {}
         self._physical_executor: Optional[PhysicalExecutor] = None
+        if join_order_search is not None and join_order_search not in SEARCH_MODES:
+            # Fail at construction, not at the first query hours later.
+            raise CatalogError(
+                "unknown join_order_search mode {!r}; use one of {}".format(
+                    join_order_search, "/".join(SEARCH_MODES)))
+        self._join_order_search = join_order_search
         #: collected ANALYZE results; the cost model consults this catalog
         self.statistics = StatisticsCatalog(
             self, auto_analyze=auto_analyze,
@@ -234,7 +246,8 @@ class Database:
     def physical_executor(self) -> PhysicalExecutor:
         """The database's physical executor (created lazily, plan cache persists)."""
         if self._physical_executor is None:
-            self._physical_executor = PhysicalExecutor(self)
+            self._physical_executor = PhysicalExecutor(
+                self, join_order_search=self._join_order_search)
         return self._physical_executor
 
     # -- schema management ------------------------------------------------------------------------

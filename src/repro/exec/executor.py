@@ -2,9 +2,11 @@
 
 :class:`PhysicalExecutor` is the session-level entry point the engine uses.  It
 owns a :class:`PhysicalPlanner` and an LRU :class:`PlanCache` keyed on
-``(expression structure, execution mode, catalog version, statistics version)``:
-hot queries are lowered once and the cached plan is reused until the schema or
-the statistics change.  Plans resolve relations and indexes at *execution* time,
+``(expression structure, execution mode, join-search mode, catalog version,
+statistics version)``: hot queries are lowered once and the cached plan is
+reused until the schema or the statistics change (or the join-order search
+strategy is switched — plans chosen by different searches must not shadow each
+other).  Plans resolve relations and indexes at *execution* time,
 so cached plans stay correct across DML — data changes can at worst make a
 cached join-algorithm choice suboptimal, never wrong.  The cache's hit/miss
 counters are exposed as :attr:`PhysicalExecutor.cache_hits` /
@@ -84,10 +86,21 @@ class PhysicalExecutor:
 
     def __init__(self, source, planner: Optional[PhysicalPlanner] = None,
                  cache_size: int = 128, batch_size: Optional[int] = None,
-                 use_indexes: bool = True, vectorize: bool = True):
+                 use_indexes: bool = True, vectorize: bool = True,
+                 join_order_search: Optional[str] = None):
         self.source = source
-        self.planner = (planner if planner is not None
-                        else PhysicalPlanner(source=source, vectorize=vectorize))
+        if planner is None:
+            kwargs = {}
+            if join_order_search is not None:
+                kwargs["join_order_search"] = join_order_search
+            planner = PhysicalPlanner(source=source, vectorize=vectorize, **kwargs)
+        elif (join_order_search is not None
+              and join_order_search != planner.join_order_search):
+            raise ValueError(
+                "conflicting join_order_search: executor got {!r} but the "
+                "supplied planner uses {!r} — configure the planner instead"
+                .format(join_order_search, planner.join_order_search))
+        self.planner = planner
         self.cache = PlanCache(cache_size)
         #: ``None`` lets each plan pick its mode's default batch size
         self.batch_size = batch_size
@@ -118,6 +131,7 @@ class PhysicalExecutor:
         """
         effective = self.vectorize if vectorize is None else vectorize
         key = (expression_key(expression), effective,
+               getattr(self.planner, "join_order_search", None),
                _catalog_version(self.source), _statistics_version(self.source))
         plan = self.cache.get(key)
         if plan is None:

@@ -7,7 +7,22 @@ operators from :mod:`repro.exec.operators`:
 * chains of selections and type guards over a base relation collapse into a
   single :class:`~repro.exec.operators.Scan` with the predicate and guard pushed
   down (and the predicate's implied equalities exposed for index lookup);
-* every :class:`~repro.algebra.expressions.NaturalJoin` is lowered to an
+* nested :class:`~repro.algebra.expressions.NaturalJoin` trees of three or more
+  relations first go through the **cost-based join-order search** of
+  :mod:`repro.optimizer.joinorder` (``join_order_search="dp"`` by default:
+  Selinger-style dynamic programming over connected atom subsets producing
+  bushy trees, with a greedy fallback above ``join_dp_threshold`` relations;
+  ``"greedy"``, ``"smallest"`` and ``"none"`` select the other strategies).
+  The search re-associates the joins into the cheapest estimated order, seeds
+  the planner's estimate memo with its per-subset cardinalities — this is what
+  keeps the ``est_rows`` / ``est_cost`` annotations honest for composed joins,
+  which the plain cost model cannot price — and records a
+  :class:`~repro.optimizer.joinorder.JoinSearchReport` (mode, subsets
+  enumerated, candidate plans pruned, the chosen order) that
+  ``plan.explain()`` renders.  Trees the search deems unsafe to reorder
+  (narrowed ``on`` sets, data-dependent joins, unresolvable schemes) keep
+  their written order;
+* every :class:`~repro.algebra.expressions.NaturalJoin` is then lowered to an
   :class:`~repro.exec.operators.IndexLookupJoin` (when the join attributes are
   static, the inner side is a base relation with a covering hash index, and the
   estimated outer cardinality makes probing cheaper than scanning), a
@@ -86,6 +101,13 @@ from repro.exec.vectorized import (
     BatchScan,
 )
 from repro.optimizer.cost import CostEstimate, CostModel
+from repro.optimizer.joinorder import (
+    DEFAULT_DP_THRESHOLD,
+    DEFAULT_JOIN_SEARCH,
+    SEARCH_MODES,
+    JoinSearchReport,
+    order_joins,
+)
 
 #: below this many estimated probe×build pairs a nested loop beats the hash setup
 DEFAULT_HASH_JOIN_PAIR_THRESHOLD = 64
@@ -110,11 +132,18 @@ class PhysicalResult(EvaluationResult):
 
 
 class PhysicalPlan:
-    """An executable tree of physical operators (the output of the planner)."""
+    """An executable tree of physical operators (the output of the planner).
 
-    def __init__(self, root: PhysicalOperator, expression: Optional[Expression] = None):
+    ``join_search`` carries one :class:`~repro.optimizer.joinorder.JoinSearchReport`
+    per n-way join tree the planner reordered; ``explain()`` renders them above
+    the operator tree.
+    """
+
+    def __init__(self, root: PhysicalOperator, expression: Optional[Expression] = None,
+                 join_search: Tuple[JoinSearchReport, ...] = ()):
         self.root = root
         self.expression = expression
+        self.join_search = tuple(join_search)
         self._mode: Optional[str] = None
 
     @property
@@ -155,8 +184,14 @@ class PhysicalPlan:
         return PhysicalResult(tuples, ctx.stats, ctx)
 
     def explain(self) -> str:
-        """Readable multi-line rendering of the plan."""
-        return self.root.explain()
+        """Readable multi-line rendering of the plan.
+
+        When the planner ran a join-order search, its one-line reports (mode,
+        DP statistics, the chosen order) precede the operator tree.
+        """
+        lines = [report.describe() for report in self.join_search]
+        lines.append(self.root.explain())
+        return "\n".join(lines)
 
     def __repr__(self) -> str:
         return "PhysicalPlan({})".format(self.root.label())
@@ -170,13 +205,19 @@ class PhysicalPlanner:
     degrades gracefully, whereas a nested loop on large inputs does not).
     ``statistics`` overrides the statistics catalog consulted by the cost model
     (by default the source's own, see :class:`~repro.optimizer.cost.CostModel`).
+    ``join_order_search`` selects the n-way join-order strategy of
+    :mod:`repro.optimizer.joinorder` (``"dp"`` / ``"greedy"`` / ``"smallest"`` /
+    ``"none"``); ``join_dp_threshold`` is the relation count above which DP
+    falls back to greedy.
     """
 
     def __init__(self, source=None,
                  hash_join_pair_threshold: int = DEFAULT_HASH_JOIN_PAIR_THRESHOLD,
                  statistics=None,
                  index_probe_cost_factor: float = INDEX_PROBE_COST_FACTOR,
-                 vectorize: bool = True):
+                 vectorize: bool = True,
+                 join_order_search: str = DEFAULT_JOIN_SEARCH,
+                 join_dp_threshold: int = DEFAULT_DP_THRESHOLD):
         self.source = source
         self.hash_join_pair_threshold = hash_join_pair_threshold
         self.cost_model = CostModel(source, statistics=statistics,
@@ -184,8 +225,20 @@ class PhysicalPlanner:
         self.index_probe_cost_factor = index_probe_cost_factor
         #: default execution mode: lower hot operators to their batch forms
         self.vectorize = vectorize
+        if join_order_search not in SEARCH_MODES:
+            raise OptimizerError(
+                "unknown join_order_search mode {!r}; use one of {}".format(
+                    join_order_search, "/".join(SEARCH_MODES)))
+        #: join-order strategy for n-way NaturalJoin trees (plan-cache key part)
+        self.join_order_search = join_order_search
+        self.join_dp_threshold = join_dp_threshold
         self._estimates: dict = {}
         self._vectorize = vectorize
+        #: ids of NaturalJoin nodes produced by the search (skip re-searching)
+        self._ordered_joins: set = set()
+        #: search results of the current plan() call (also keeps the rebuilt
+        #: trees alive so the id-keyed memos above cannot alias freed nodes)
+        self._search_results: list = []
 
     def plan(self, expression: Expression,
              vectorize: Optional[bool] = None) -> PhysicalPlan:
@@ -197,12 +250,18 @@ class PhysicalPlanner:
         the same plan), ``False`` produces a pure row plan.
         """
         self._estimates = {}
+        self._ordered_joins = set()
+        self._search_results = []
         self._vectorize = self.vectorize if vectorize is None else vectorize
         self.cost_model.set_vectorized(self._vectorize)
         try:
-            return PhysicalPlan(self._lower(expression), expression)
+            root = self._lower(expression)
+            reports = tuple(result.report for result in self._search_results)
+            return PhysicalPlan(root, expression, join_search=reports)
         finally:
             self._estimates = {}
+            self._ordered_joins = set()
+            self._search_results = []
             self._vectorize = self.vectorize
             self.cost_model.set_vectorized(self.vectorize)
 
@@ -266,8 +325,30 @@ class PhysicalPlanner:
             return MultiwayJoinOp([self._lower(child) for child in [master] + fragments],
                                   expression.on)
         if isinstance(expression, NaturalJoin):
-            return self._lower_join(expression)
+            ordered = self._search_join_order(expression)
+            return self._lower_join(expression if ordered is None else ordered)
         raise OptimizerError("cannot lower expression node {!r}".format(expression))
+
+    def _search_join_order(self, expression: NaturalJoin) -> Optional[NaturalJoin]:
+        """Run the join-order search on an n-way NaturalJoin tree, if enabled.
+
+        Returns the reordered tree (whose estimate memo entries and report are
+        absorbed into the current plan), or ``None`` to keep the written order.
+        Trees the search itself produced are never re-searched.
+        """
+        if self.join_order_search == "none" or id(expression) in self._ordered_joins:
+            return None
+        result = order_joins(expression, self.cost_model,
+                             mode=self.join_order_search,
+                             dp_threshold=self.join_dp_threshold,
+                             memo=self._estimates,
+                             index_probe_cost_factor=self.index_probe_cost_factor)
+        if result is None:
+            return None
+        self._search_results.append(result)
+        self._estimates.update(result.estimates)
+        self._ordered_joins.update(id(node) for node in result.join_nodes)
+        return result.expression
 
     def _lower_join(self, expression: NaturalJoin) -> PhysicalOperator:
         left_estimate = self._estimate(expression.left)

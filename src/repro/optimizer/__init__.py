@@ -24,9 +24,21 @@ from repro.optimizer.rewrite_rules import (
 )
 from repro.optimizer.qualified_relations import QualifiedRelation, qualification_excludes
 from repro.optimizer.cost import estimate_cost, measured_cost
+from repro.optimizer.joinorder import (
+    JoinGraph,
+    JoinOrderResult,
+    JoinSearchReport,
+    extract_join_graph,
+    order_joins,
+)
 from repro.optimizer.planner import Planner
 
 __all__ = [
+    "JoinGraph",
+    "JoinOrderResult",
+    "JoinSearchReport",
+    "extract_join_graph",
+    "order_joins",
     "guaranteed_present",
     "guaranteed_absent",
     "RewriteReport",

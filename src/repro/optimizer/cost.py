@@ -14,8 +14,42 @@ Two notions of cost are used by the optimizer experiments:
   the expression with :class:`repro.algebra.Evaluator`.  The benchmarks report this
   machine-independent number alongside wall-clock time.
 
+**How the estimates are derived.**  Every node receives a
+:class:`CostEstimate` with three components:
+
+* ``cardinality`` — base relations report their exact row count; a
+  selection/guard chain over one base relation is combined into a *single*
+  conjunction and priced against that table's statistics in one step
+  (comparisons from histograms and exact most-common-value counts, type
+  guards from the variant-tag frequency table, joint attribute *presence*
+  charged exactly once even when a guard and a comparison require the same
+  attribute); a natural join prices as ``|L| · |R| · sel`` with ``sel`` the
+  per-attribute NDV overlap ``1/max(ndv_L, ndv_R)`` times both sides'
+  tag-frequency of carrying the join attributes (tuples lacking one can never
+  join).  Reshaping operators (projection, extension, rename) pass
+  cardinality through; unions add, difference keeps its left input.
+* ``work`` — cumulative: children's work plus this node's own (one unit per
+  input tuple for selections/guards/reshaping — scaled by
+  :data:`ROW_TUPLE_COST` or :data:`VECTORIZED_TUPLE_COST` depending on the
+  execution mode being priced — and the examined pair count for joins).
+* ``bound`` — a *hard* cardinality upper bound (selections only shrink their
+  input, a join can at most pair everything).  Decisions that are
+  catastrophic when an estimate is too low — choosing a nested-loop join —
+  consult the bound, never the estimate.
+
+Without fresh statistics every selectivity falls back to the default
+constants (:data:`DEFAULT_SELECTIVITY`, :data:`DEFAULT_GUARD_SELECTIVITY`),
+so the model degrades gracefully rather than failing.  The n-way join-order
+search of :mod:`repro.optimizer.joinorder` builds on these same primitives —
+atom estimates from this model, edge selectivities from
+:func:`repro.stats.statistics.join_selectivity` — and seeds its per-subset
+cardinalities back into the physical planner's memo, because this model alone
+cannot price composed joins (it has no base statistics for intermediate
+results).
+
 The statistics-aware logic lives in :class:`CostModel`; :func:`estimate_cost`
-remains the convenience wrapper every existing caller uses.
+remains the convenience wrapper every existing caller uses.  The full
+constant reference lives in ``docs/ARCHITECTURE.md``.
 """
 
 from __future__ import annotations
