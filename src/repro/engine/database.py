@@ -360,7 +360,8 @@ class Database:
         raise CatalogError("unknown execution mode {!r}; use 'batch' or 'row'".format(mode))
 
     def execute(self, expression: Expression, optimize: bool = False,
-                executor: str = "physical", mode: Optional[str] = None) -> EvaluationResult:
+                executor: str = "physical", mode: Optional[str] = None,
+                batch_size: Optional[int] = None) -> EvaluationResult:
         """Evaluate an algebra expression against the stored tables.
 
         ``executor`` selects the execution engine: ``"physical"`` (default) runs
@@ -369,16 +370,20 @@ class Database:
         reference set evaluator of :mod:`repro.algebra`.  ``mode`` picks the
         physical execution mode: ``"batch"`` (vectorized operators, the
         default), ``"row"`` (tuple-at-a-time), or ``None`` for the executor's
-        default.  All paths produce identical result sets (enforced by the
-        differential test suite).
+        default.  ``batch_size`` pins the tuples-per-batch for this execution;
+        ``None`` lets the planner size batches adaptively from the statistics.
+        All paths produce identical result sets (enforced by the differential
+        test suite).
         """
         result, _report = self.execute_with_report(expression, optimize=optimize,
-                                                   executor=executor, mode=mode)
+                                                   executor=executor, mode=mode,
+                                                   batch_size=batch_size)
         return result
 
     def execute_with_report(self, expression: Expression, optimize: bool = True,
                             executor: str = "physical",
-                            mode: Optional[str] = None) -> Tuple[EvaluationResult, RewriteReport]:
+                            mode: Optional[str] = None,
+                            batch_size: Optional[int] = None) -> Tuple[EvaluationResult, RewriteReport]:
         """Evaluate an expression and also return the optimizer's rewrite report."""
         vectorize = self._vectorize_flag(mode)
         report = RewriteReport()
@@ -386,43 +391,51 @@ class Database:
             planner = Planner(catalog=self)
             expression, report = planner.optimize(expression)
         if executor == "physical":
-            return self.physical_executor.execute(expression, vectorize=vectorize), report
+            return self.physical_executor.execute(expression, vectorize=vectorize,
+                                                  batch_size=batch_size), report
         if executor == "naive":
             evaluator = Evaluator(self)
             return evaluator.evaluate(expression), report
         raise CatalogError("unknown executor {!r}; use 'physical' or 'naive'".format(executor))
 
     def plan(self, expression: Expression, optimize: bool = True,
-             mode: Optional[str] = None) -> PhysicalPlan:
+             mode: Optional[str] = None,
+             batch_size: Optional[int] = None) -> PhysicalPlan:
         """The physical plan the database would run for ``expression``.
 
         With ``optimize=True`` the AD-driven rewrites are applied first, so the
         plan shows what actually executes; ``mode`` selects ``"batch"`` or
-        ``"row"`` lowering (``plan.mode`` reports what came out);
+        ``"row"`` lowering (``plan.mode`` reports what came out) and
+        ``batch_size`` pins the plan's batch size (``None`` = adaptive);
         ``plan.explain()`` renders it.
         """
         if optimize:
             planner = Planner(catalog=self)
             expression, _report = planner.optimize(expression)
         return self.physical_executor.plan(expression,
-                                           vectorize=self._vectorize_flag(mode))
+                                           vectorize=self._vectorize_flag(mode),
+                                           batch_size=batch_size)
 
     def explain(self, expression: Expression, optimize: bool = True,
-                mode: Optional[str] = None) -> str:
-        """Human-readable plan for ``expression``, with execution mode and
-        plan-cache counters in the header::
+                mode: Optional[str] = None,
+                batch_size: Optional[int] = None) -> str:
+        """Human-readable plan for ``expression``, with execution mode, the
+        batch-size decision and plan-cache counters in the header::
 
-            mode=batch  plan-cache: hits=3 misses=1
+            mode=batch  batch_size=1365  plan-cache: hits=3 misses=1
             hash-join[on={event_id}]  [batch] ...
         """
-        plan = self.plan(expression, optimize=optimize, mode=mode)
+        plan = self.plan(expression, optimize=optimize, mode=mode,
+                         batch_size=batch_size)
         cache = self.physical_executor.cache_info()
-        header = "mode={}  plan-cache: hits={} misses={}".format(
-            plan.mode, cache["hits"], cache["misses"])
+        header = "mode={}  batch_size={}  plan-cache: hits={} misses={}".format(
+            plan.mode, plan.batch_size if plan.batch_size is not None else "default",
+            cache["hits"], cache["misses"])
         return header + "\n" + plan.explain()
 
     def query(self, text: str, optimize: bool = True,
-              executor: str = "physical", mode: Optional[str] = None) -> EvaluationResult:
+              executor: str = "physical", mode: Optional[str] = None,
+              batch_size: Optional[int] = None) -> EvaluationResult:
         """Parse and evaluate a textual query (see :mod:`repro.query`).
 
         ``db.query("SELECT name FROM employees WHERE jobtype = 'secretary'")``
@@ -430,7 +443,7 @@ class Database:
         from repro.query import parse_query
 
         return self.execute(parse_query(text), optimize=optimize, executor=executor,
-                            mode=mode)
+                            mode=mode, batch_size=batch_size)
 
     # -- transactions ----------------------------------------------------------------------------------
 

@@ -8,9 +8,11 @@ package decides *how* to run it:
   with guard-aware partitioning for variant records, streaming unions and
   difference, and physical forms of every remaining algebra operator;
 * :mod:`repro.exec.vectorized` + :mod:`repro.exec.compiled` — the vectorized
-  execution path: batch forms of the hot operators streaming column-oriented
-  :class:`~repro.model.batches.TupleBatch` chunks, with selections and type
-  guards compiled once per plan node into closures over column arrays;
+  execution path: batch forms of **every** operator streaming column-oriented
+  :class:`~repro.model.batches.TupleBatch` chunks, selections/type guards
+  compiled once per plan node into closures over column arrays, lazy
+  column-merged join output (:class:`~repro.model.batches.LazyBatch`) and
+  adaptive, statistics-driven batch sizing;
 * :mod:`repro.exec.planner`  — the :class:`PhysicalPlanner` lowering (rewritten)
   logical expression trees into :class:`PhysicalPlan` objects, choosing join
   algorithms from the cost model;
@@ -24,20 +26,37 @@ implementation; ``tests/test_exec_parity.py`` differentially checks that both
 produce identical results.
 """
 
-from repro.exec.compiled import CompiledGuard, CompiledPredicate
+from repro.exec.compiled import (
+    CompiledExtension,
+    CompiledGuard,
+    CompiledPredicate,
+    CompiledRename,
+)
 from repro.exec.context import (
     DEFAULT_BATCH_SIZE,
+    MAX_BATCH_SIZE,
+    MIN_BATCH_SIZE,
+    TARGET_BATCH_CELLS,
     VECTOR_BATCH_SIZE,
     ExecutionContext,
     OperatorStats,
+    adaptive_batch_size,
 )
 from repro.exec.executor import PhysicalExecutor, PlanCache
 from repro.exec.vectorized import (
+    BatchDifference,
+    BatchEmptyOp,
+    BatchExtension,
     BatchFilter,
     BatchGuard,
     BatchHashJoin,
     BatchIndexLookupJoin,
+    BatchMergeUnion,
+    BatchMultiwayJoin,
+    BatchOuterUnion,
+    BatchProduct,
     BatchProject,
+    BatchRename,
     BatchScan,
 )
 from repro.exec.operators import (
@@ -67,15 +86,29 @@ from repro.exec.planner import (
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "MAX_BATCH_SIZE",
+    "MIN_BATCH_SIZE",
+    "TARGET_BATCH_CELLS",
     "VECTOR_BATCH_SIZE",
+    "adaptive_batch_size",
+    "BatchDifference",
+    "BatchEmptyOp",
+    "BatchExtension",
     "BatchFilter",
     "BatchGuard",
     "BatchHashJoin",
     "BatchIndexLookupJoin",
+    "BatchMergeUnion",
+    "BatchMultiwayJoin",
+    "BatchOuterUnion",
+    "BatchProduct",
     "BatchProject",
+    "BatchRename",
     "BatchScan",
+    "CompiledExtension",
     "CompiledGuard",
     "CompiledPredicate",
+    "CompiledRename",
     "ExecutionContext",
     "OperatorStats",
     "PhysicalExecutor",

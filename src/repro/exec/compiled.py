@@ -43,6 +43,7 @@ from repro.algebra.predicates import (
     PresencePredicate,
     TruePredicate,
 )
+from repro.errors import TupleError
 from repro.model.attributes import attrset
 from repro.model.batches import MISSING, TupleBatch, mask_indices
 
@@ -216,6 +217,69 @@ class CompiledPredicate:
 
     def __repr__(self) -> str:
         return "CompiledPredicate({!r}, passes={})".format(self.predicate, len(self._passes))
+
+
+class CompiledExtension:
+    """The ε operator compiled to a whole-batch value-dict transform.
+
+    One presence-bitmap test per batch replaces the per-tuple "attribute already
+    present" check of :meth:`FlexTuple.extend` (the error semantics are
+    identical — the row engine raises on the first offending tuple of a batch,
+    this raises on the batch containing it), and the output is a list of
+    extended value dicts ready for a lazy batch — no tuples are built.
+    """
+
+    __slots__ = ("attribute", "value")
+
+    def __init__(self, attribute: str, value):
+        self.attribute = attribute
+        self.value = value
+
+    def transform(self, batch: TupleBatch) -> List[dict]:
+        """Extended value dicts for every row of ``batch``."""
+        name = self.attribute
+        if batch.column_mask(name):
+            raise TupleError("attribute {!r} already present".format(name))
+        # An unhashable tag value can never form a FlexTuple; fail on the first
+        # batch, exactly where the row engine's eager construction would.
+        hash(self.value)
+        value = self.value
+        out = []
+        append = out.append
+        for values in batch.values_list():
+            extended = dict(values)
+            extended[name] = value
+            append(extended)
+        return out
+
+    def __repr__(self) -> str:
+        return "CompiledExtension({}:{!r})".format(self.attribute, self.value)
+
+
+class CompiledRename:
+    """The ρ operator compiled to a per-row value-dict transform.
+
+    The mapping is resolved once; each row becomes a new value dict with the
+    renamed keys, built in sorted attribute order — the same iteration order as
+    :meth:`FlexTuple.items`, so a mapping collapsing two attributes onto one
+    target keeps the row engine's last-writer-wins semantics.
+    """
+
+    __slots__ = ("mapping",)
+
+    def __init__(self, mapping):
+        self.mapping = dict(mapping)
+
+    def transform_row(self, values: dict) -> dict:
+        mapping = self.mapping
+        renamed = {mapping.get(name, name): value for name, value in values.items()}
+        if len(renamed) == len(values):
+            return renamed
+        # Colliding targets: rebuild in sorted order for last-writer-wins.
+        return {mapping.get(name, name): values[name] for name in sorted(values)}
+
+    def __repr__(self) -> str:
+        return "CompiledRename({})".format(self.mapping)
 
 
 class CompiledGuard:

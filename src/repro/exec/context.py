@@ -25,6 +25,33 @@ DEFAULT_BATCH_SIZE = 256
 #: per-batch column extraction and counter updates across more tuples
 VECTOR_BATCH_SIZE = 1024
 
+#: target number of *values* (tuple width × batch size) per vectorized batch;
+#: wide variant tuples get proportionally smaller batches so column extraction
+#: and presence bitmaps stay cache-friendly
+TARGET_BATCH_CELLS = 8192
+
+#: bounds of the adaptive batch-size decision
+MIN_BATCH_SIZE = 64
+MAX_BATCH_SIZE = 4096
+
+
+def adaptive_batch_size(width: float, base_rows: Optional[float] = None) -> int:
+    """The planner's batch-size heuristic for vectorized plans.
+
+    ``width`` is the estimated average tuple width (attributes per tuple, from
+    the statistics when fresh); ``base_rows`` the largest base-relation
+    cardinality feeding the plan.  The size targets
+    :data:`TARGET_BATCH_CELLS` values per batch, clamped to
+    [:data:`MIN_BATCH_SIZE`, :data:`MAX_BATCH_SIZE`] — and a tiny input is
+    widened to a single batch, since splitting a few hundred tuples only pays
+    per-batch overhead without amortizing anything.
+    """
+    size = int(TARGET_BATCH_CELLS // max(1.0, float(width)))
+    size = max(MIN_BATCH_SIZE, min(MAX_BATCH_SIZE, size))
+    if base_rows is not None and 0 < base_rows <= MAX_BATCH_SIZE:
+        size = max(size, int(base_rows))
+    return size
+
 
 class OperatorStats:
     """Counters for one physical operator instance."""

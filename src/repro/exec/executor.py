@@ -2,11 +2,12 @@
 
 :class:`PhysicalExecutor` is the session-level entry point the engine uses.  It
 owns a :class:`PhysicalPlanner` and an LRU :class:`PlanCache` keyed on
-``(expression structure, execution mode, join-search mode, catalog version,
-statistics version)``: hot queries are lowered once and the cached plan is
-reused until the schema or the statistics change (or the join-order search
-strategy is switched — plans chosen by different searches must not shadow each
-other).  Plans resolve relations and indexes at *execution* time,
+``(expression structure, execution mode, effective batch-size request,
+join-search mode, batch-forms setting, catalog version, statistics version)``:
+hot queries are lowered once and the cached plan is reused until the schema or
+the statistics change (or the join-order search strategy is switched — plans
+chosen by different searches must not shadow each other; likewise a plan built
+and batch-sized for one requested size is never reused for another).  Plans resolve relations and indexes at *execution* time,
 so cached plans stay correct across DML — data changes can at worst make a
 cached join-algorithm choice suboptimal, never wrong.  The cache's hit/miss
 counters are exposed as :attr:`PhysicalExecutor.cache_hits` /
@@ -102,7 +103,7 @@ class PhysicalExecutor:
                 .format(join_order_search, planner.join_order_search))
         self.planner = planner
         self.cache = PlanCache(cache_size)
-        #: ``None`` lets each plan pick its mode's default batch size
+        #: ``None`` lets the planner pick the adaptive batch size per plan
         self.batch_size = batch_size
         self.use_indexes = use_indexes
         self.vectorize = vectorize
@@ -123,28 +124,40 @@ class PhysicalExecutor:
                 "size": len(self.cache), "max_size": self.cache.max_size}
 
     def plan(self, expression: Expression,
-             vectorize: Optional[bool] = None) -> PhysicalPlan:
+             vectorize: Optional[bool] = None,
+             batch_size: Optional[int] = None) -> PhysicalPlan:
         """The (possibly cached) physical plan for ``expression``.
 
         ``vectorize`` overrides the executor's default execution mode for this
-        plan; row and batch plans are cached under distinct keys.
+        plan; ``batch_size`` the executor's default batch size (``None`` lets
+        the planner size batches adaptively).  The cache key includes the
+        *effective* batch-size request, so a plan built (and sized) for one
+        batch size is never reused when the caller asks for another.
         """
         effective = self.vectorize if vectorize is None else vectorize
-        key = (expression_key(expression), effective,
+        requested = self.batch_size if batch_size is None else batch_size
+        key = (expression_key(expression), effective, requested,
                getattr(self.planner, "join_order_search", None),
+               getattr(self.planner, "batch_forms", "all"),
                _catalog_version(self.source), _statistics_version(self.source))
         plan = self.cache.get(key)
         if plan is None:
-            plan = self.planner.plan(expression, vectorize=effective)
+            plan = self.planner.plan(expression, vectorize=effective,
+                                     batch_size=requested)
             self.cache.put(key, plan)
         return plan
 
     def execute(self, expression: Expression,
                 stats: Optional[ExecutionStats] = None,
-                vectorize: Optional[bool] = None) -> PhysicalResult:
-        """Plan (or fetch from cache) and run ``expression``."""
-        plan = self.plan(expression, vectorize=vectorize)
-        return plan.execute(self.source, stats=stats, batch_size=self.batch_size,
+                vectorize: Optional[bool] = None,
+                batch_size: Optional[int] = None) -> PhysicalResult:
+        """Plan (or fetch from cache) and run ``expression``.
+
+        The plan carries its batch-size decision (adaptive or requested), so no
+        separate size is passed at execution time.
+        """
+        plan = self.plan(expression, vectorize=vectorize, batch_size=batch_size)
+        return plan.execute(self.source, stats=stats,
                             use_indexes=self.use_indexes)
 
     def __repr__(self) -> str:

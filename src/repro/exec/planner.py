@@ -34,12 +34,18 @@ operators from :mod:`repro.exec.operators`:
   are merged smallest-estimated-first (the order is semantically free);
 * all remaining operators map one-to-one onto their physical counterparts.
 
-With ``vectorize=True`` (the default) the hot operators — Scan, Filter, Guard,
-Project, HashJoin with static join attributes, IndexLookupJoin — are lowered to
-their batch forms from :mod:`repro.exec.vectorized` (predicates and guards
-compiled once per node); operators without a batch form stay row-mode inside the
-same plan.  ``PhysicalPlan.mode`` reports ``"batch"`` / ``"mixed"`` / ``"row"``
-and decides the default batch size (~1024 vectorized, 256 row).
+With ``vectorize=True`` (the default) **every** operator is lowered to its
+batch form from :mod:`repro.exec.vectorized` (predicates and guards compiled
+once per node, lazy column-merged join output), so whole plans run
+``mode == "batch"``; the only row fallbacks are data-dependent natural joins
+(``on=None``) and the nested-loop joins chosen for provably tiny inputs.
+``batch_forms="core"`` restricts vectorization to the original hot set
+(scans/filters/guards/projections/joins, eager join output) for A/B
+benchmarking.  ``PhysicalPlan.mode`` reports ``"batch"`` / ``"mixed"`` /
+``"row"``; vectorized plans additionally carry an **adaptive batch size**
+picked from the cost model's tuple-width estimate and the largest base-table
+cardinality (tiny inputs get one batch, wide variant tuples smaller batches),
+overridable per plan request and per execution.
 
 When the source database carries fresh statistics (``Database.analyze()``), the
 cost model estimates from histograms and variant-tag frequencies, so all of the
@@ -73,7 +79,12 @@ from repro.algebra.expressions import (
     Union,
 )
 from repro.errors import OptimizerError
-from repro.exec.context import DEFAULT_BATCH_SIZE, VECTOR_BATCH_SIZE, ExecutionContext
+from repro.exec.context import (
+    DEFAULT_BATCH_SIZE,
+    VECTOR_BATCH_SIZE,
+    ExecutionContext,
+    adaptive_batch_size,
+)
 from repro.exec.operators import (
     DifferenceOp,
     EmptyOp,
@@ -93,11 +104,19 @@ from repro.exec.operators import (
     Scan,
 )
 from repro.exec.vectorized import (
+    BatchDifference,
+    BatchEmptyOp,
+    BatchExtension,
     BatchFilter,
     BatchGuard,
     BatchHashJoin,
     BatchIndexLookupJoin,
+    BatchMergeUnion,
+    BatchMultiwayJoin,
+    BatchOuterUnion,
+    BatchProduct,
     BatchProject,
+    BatchRename,
     BatchScan,
 )
 from repro.optimizer.cost import CostEstimate, CostModel
@@ -111,6 +130,12 @@ from repro.optimizer.joinorder import (
 
 #: below this many estimated probe×build pairs a nested loop beats the hash setup
 DEFAULT_HASH_JOIN_PAIR_THRESHOLD = 64
+
+#: the valid ``batch_forms`` settings: ``"all"`` lowers every operator with a
+#: batch form (whole-plan vectorization); ``"core"`` reproduces the earlier
+#: scan/filter/guard/project/join-only lowering and is kept for A/B
+#: benchmarking of the full-batch engine (E14)
+BATCH_FORMS = ("all", "core")
 
 #: estimated cost of one index probe relative to reading one tuple in a scan
 INDEX_PROBE_COST_FACTOR = 2.0
@@ -140,10 +165,14 @@ class PhysicalPlan:
     """
 
     def __init__(self, root: PhysicalOperator, expression: Optional[Expression] = None,
-                 join_search: Tuple[JoinSearchReport, ...] = ()):
+                 join_search: Tuple[JoinSearchReport, ...] = (),
+                 batch_size: Optional[int] = None):
         self.root = root
         self.expression = expression
         self.join_search = tuple(join_search)
+        #: the planner's (adaptive or requested) batch-size decision; ``None``
+        #: falls back to the mode default at execution time
+        self.batch_size = batch_size
         self._mode: Optional[str] = None
 
     @property
@@ -170,9 +199,13 @@ class PhysicalPlan:
                 use_indexes: bool = True) -> PhysicalResult:
         """Run the plan against ``source`` and collect the result set.
 
-        ``batch_size=None`` picks the mode's default: ~1024 tuples per batch for
-        vectorized plans, 256 for row plans.
+        ``batch_size=None`` uses the plan's own sizing decision (the planner's
+        adaptive choice, or the size the plan was requested under), falling
+        back to the mode default: ~1024 tuples per batch for vectorized plans,
+        256 for row plans.
         """
+        if batch_size is None:
+            batch_size = self.batch_size
         if batch_size is None:
             batch_size = DEFAULT_BATCH_SIZE if self.mode == "row" else VECTOR_BATCH_SIZE
         ctx = ExecutionContext(source, stats=stats, batch_size=batch_size,
@@ -217,7 +250,8 @@ class PhysicalPlanner:
                  index_probe_cost_factor: float = INDEX_PROBE_COST_FACTOR,
                  vectorize: bool = True,
                  join_order_search: str = DEFAULT_JOIN_SEARCH,
-                 join_dp_threshold: int = DEFAULT_DP_THRESHOLD):
+                 join_dp_threshold: int = DEFAULT_DP_THRESHOLD,
+                 batch_forms: str = "all"):
         self.source = source
         self.hash_join_pair_threshold = hash_join_pair_threshold
         self.cost_model = CostModel(source, statistics=statistics,
@@ -225,6 +259,12 @@ class PhysicalPlanner:
         self.index_probe_cost_factor = index_probe_cost_factor
         #: default execution mode: lower hot operators to their batch forms
         self.vectorize = vectorize
+        if batch_forms not in BATCH_FORMS:
+            raise OptimizerError(
+                "unknown batch_forms setting {!r}; use one of {}".format(
+                    batch_forms, "/".join(BATCH_FORMS)))
+        #: which operators get batch forms under vectorization ("all" / "core")
+        self.batch_forms = batch_forms
         if join_order_search not in SEARCH_MODES:
             raise OptimizerError(
                 "unknown join_order_search mode {!r}; use one of {}".format(
@@ -241,13 +281,22 @@ class PhysicalPlanner:
         self._search_results: list = []
 
     def plan(self, expression: Expression,
-             vectorize: Optional[bool] = None) -> PhysicalPlan:
+             vectorize: Optional[bool] = None,
+             batch_size: Optional[int] = None) -> PhysicalPlan:
         """Lower ``expression`` into an executable :class:`PhysicalPlan`.
 
         ``vectorize`` overrides the planner default for this one plan: ``True``
-        lowers Scan/Filter/Guard/Project/HashJoin/IndexLookupJoin to their
-        vectorized forms (operators without a batch form stay row-mode inside
-        the same plan), ``False`` produces a pure row plan.
+        lowers every operator with a batch form to it (with
+        ``batch_forms="all"``, that is all of them — whole plans run
+        ``mode == "batch"`` except for row fallbacks documented in
+        :mod:`repro.exec.vectorized`), ``False`` produces a pure row plan.
+
+        ``batch_size`` pins the plan's batch size; when omitted, vectorized
+        plans receive the **adaptive** size — picked from the cost model's
+        tuple-width estimate and the largest base-table cardinality (tiny
+        inputs get one batch, wide variant tuples get smaller batches) — and
+        row plans keep the row default.  Either way the decision is baked into
+        the returned plan (and the plan cache is keyed on it).
         """
         self._estimates = {}
         self._ordered_joins = set()
@@ -257,7 +306,10 @@ class PhysicalPlanner:
         try:
             root = self._lower(expression)
             reports = tuple(result.report for result in self._search_results)
-            return PhysicalPlan(root, expression, join_search=reports)
+            if batch_size is None and self._vectorize:
+                batch_size = self._adaptive_batch_size(expression)
+            return PhysicalPlan(root, expression, join_search=reports,
+                                batch_size=batch_size)
         finally:
             self._estimates = {}
             self._ordered_joins = set()
@@ -271,6 +323,21 @@ class PhysicalPlanner:
         """Cost-model estimate for a node, memoized per ``plan()`` invocation."""
         return self.cost_model.estimate(expression, _memo=self._estimates)
 
+    def _adaptive_batch_size(self, expression: Expression) -> int:
+        """The plan's batch size from estimated tuple width and input size."""
+        width = self.cost_model.estimate_width(expression)
+        largest = None
+        pending = [expression]
+        while pending:
+            node = pending.pop()
+            if isinstance(node, RelationRef):
+                cardinality = self._estimate(node).cardinality
+                if largest is None or cardinality > largest:
+                    largest = cardinality
+            else:
+                pending.extend(node.children)
+        return adaptive_batch_size(width, largest)
+
     def _lower(self, expression: Expression) -> PhysicalOperator:
         operator = self._lower_node(expression)
         # Annotate the produced operator with this node's estimate; a Scan that
@@ -282,8 +349,11 @@ class PhysicalPlanner:
         return operator
 
     def _lower_node(self, expression: Expression) -> PhysicalOperator:
+        # ``batch_forms="core"`` restricts vectorization to the original hot
+        # set (scan/filter/guard/project/joins) — kept for A/B benchmarks.
+        full = self._vectorize and self.batch_forms == "all"
         if isinstance(expression, EmptyRelation):
-            return EmptyOp()
+            return BatchEmptyOp() if full else EmptyOp()
         if isinstance(expression, RelationRef):
             return BatchScan(expression.name) if self._vectorize else Scan(expression.name)
         if isinstance(expression, Selection):
@@ -304,26 +374,33 @@ class PhysicalPlanner:
             project = BatchProject if self._vectorize else ProjectOp
             return project(self._lower(expression.child), expression.attributes)
         if isinstance(expression, Extension):
-            return ExtendOp(self._lower(expression.child), expression.attribute,
-                            expression.value)
+            extend = BatchExtension if full else ExtendOp
+            return extend(self._lower(expression.child), expression.attribute,
+                          expression.value)
         if isinstance(expression, Rename):
-            return RenameOp(self._lower(expression.child), expression.mapping)
+            rename = BatchRename if full else RenameOp
+            return rename(self._lower(expression.child), expression.mapping)
         if isinstance(expression, Product):
-            return ProductOp(self._lower(expression.left), self._lower(expression.right))
+            product = BatchProduct if full else ProductOp
+            return product(self._lower(expression.left), self._lower(expression.right))
         if isinstance(expression, OuterUnion):
-            return OuterUnionOp(self._lower(expression.left), self._lower(expression.right))
+            union = BatchOuterUnion if full else OuterUnionOp
+            return union(self._lower(expression.left), self._lower(expression.right))
         if isinstance(expression, Union):
-            return MergeUnion(self._lower(expression.left), self._lower(expression.right))
+            union = BatchMergeUnion if full else MergeUnion
+            return union(self._lower(expression.left), self._lower(expression.right))
         if isinstance(expression, Difference):
-            return DifferenceOp(self._lower(expression.left), self._lower(expression.right))
+            difference = BatchDifference if full else DifferenceOp
+            return difference(self._lower(expression.left), self._lower(expression.right))
         if isinstance(expression, MultiwayJoin):
             master, fragments = expression.inputs[0], list(expression.inputs[1:])
             # Merge the smallest estimated fragments into the master first (the
             # dependent fragments commute, so this only changes intermediate
             # sizes, never the result).
             fragments.sort(key=lambda child: self._estimate(child).cardinality)
-            return MultiwayJoinOp([self._lower(child) for child in [master] + fragments],
-                                  expression.on)
+            multiway = BatchMultiwayJoin if full else MultiwayJoinOp
+            return multiway([self._lower(child) for child in [master] + fragments],
+                            expression.on)
         if isinstance(expression, NaturalJoin):
             ordered = self._search_join_order(expression)
             return self._lower_join(expression if ordered is None else ordered)
@@ -373,7 +450,8 @@ class PhysicalPlanner:
         if self._vectorize and expression.on is not None and len(expression.on):
             # The batch hash join needs statically known join attributes; the
             # data-dependent natural join keeps the row implementation.
-            return BatchHashJoin(left, right, on=expression.on)
+            return BatchHashJoin(left, right, on=expression.on,
+                                 lazy=self.batch_forms == "all")
         return HashJoin(left, right, on=expression.on)
 
     def _index_lookup_join(self, expression: NaturalJoin,
@@ -428,8 +506,11 @@ class PhysicalPlanner:
         if best is None:
             return None
         _gain, outer_expr, inner_name = best
-        join = BatchIndexLookupJoin if self._vectorize else IndexLookupJoin
-        return join(self._lower(outer_expr), inner_name, expression.on)
+        if self._vectorize:
+            return BatchIndexLookupJoin(self._lower(outer_expr), inner_name,
+                                        expression.on,
+                                        lazy=self.batch_forms == "all")
+        return IndexLookupJoin(self._lower(outer_expr), inner_name, expression.on)
 
 
 def expression_key(expression: Expression) -> Tuple:

@@ -1,4 +1,4 @@
-"""Vectorized (batch-at-a-time) forms of the hot physical operators.
+"""Vectorized (batch-at-a-time) forms of every physical operator.
 
 Each class here subclasses its row-engine counterpart from
 :mod:`repro.exec.operators` — plans mix both modes freely, ``isinstance`` checks
@@ -18,12 +18,34 @@ at a time:
   per-tuple ``is_defined_on``/key-construction machinery disappears from the
   inner loops; variant records missing a join attribute are skipped via the
   presence bitmap and counted as guard checks, exactly like the row engine's
-  guard-aware partitioning.
+  guard-aware partitioning;
+* **join output is lazy**: instead of eagerly constructing merged
+  :class:`~repro.model.tuples.FlexTuple` objects, the probe loop zips build
+  columns and probe columns into merged value dicts (conflicts and duplicates
+  are still detected eagerly, on the dicts) and emits them as
+  :class:`~repro.model.batches.LazyBatch` chunks — tuple materialization is
+  deferred until rows cross into a row-mode operator, an interpreted
+  predicate, or the final result set.  Extension, rename and projection are
+  pure column/dict transforms and stay lazy the same way, so a chain of
+  joins and reshapes over a filtered stream never builds tuples that a
+  downstream operator drops;
+* unions, difference, products and the multiway join — row-mode holdouts until
+  this revision — have batch forms too (:class:`BatchMergeUnion`,
+  :class:`BatchOuterUnion`, :class:`BatchDifference`, :class:`BatchExtension`,
+  :class:`BatchRename`, :class:`BatchProduct`, :class:`BatchMultiwayJoin`), so
+  whole realistic plans — outer unions over heterogeneous variant schemas,
+  type-guard-driven extensions, n-way decomposition joins — run with
+  ``plan.mode == "batch"``.  The unions and difference are set-semantics pinch
+  points that dedup on the row objects themselves: their inputs are usually
+  plain batches of already-built tuples (scans) whose cached hashes make that
+  the cheapest exact check, so a *lazy* input batch is materialized there —
+  laziness survives through filters, guards, projections, reshapes and further
+  joins, not through union/difference dedup.
 
-Operators without a batch form (unions, difference, products, multiway joins,
-nested-loop joins, natural joins whose attribute set is data-dependent) keep
-running in row mode inside the same plan; batches and row lists interoperate in
-both directions.
+The only remaining row fallbacks are the natural join whose attribute set is
+data-dependent (``on=None`` — both sides must be materialized to discover the
+shared attributes) and the nested-loop join the planner picks for provably tiny
+inputs; batches and row lists interoperate in both directions.
 """
 
 from __future__ import annotations
@@ -32,17 +54,37 @@ from typing import Dict, Iterator, List
 
 from repro.algebra.evaluator import _resolve_relation
 from repro.errors import AlgebraError
-from repro.exec.compiled import CompiledGuard, CompiledPredicate
+from repro.exec.compiled import (
+    CompiledExtension,
+    CompiledGuard,
+    CompiledPredicate,
+    CompiledRename,
+)
 from repro.exec.operators import (
+    DifferenceOp,
+    EmptyOp,
+    ExtendOp,
     FilterOp,
     GuardOp,
     HashJoin,
     IndexLookupJoin,
+    MergeUnion,
+    MultiwayJoinOp,
+    OuterUnionOp,
+    ProductOp,
     ProjectOp,
+    RenameOp,
     Scan,
 )
-from repro.model.batches import MISSING, TupleBatch
+from repro.model.batches import LazyBatch, MISSING, TupleBatch, merge_values
 from repro.model.tuples import FlexTuple
+
+
+class BatchEmptyOp(EmptyOp):
+    """The ∅ leaf inside vectorized plans (emits nothing, in either mode)."""
+
+    name = "batch-empty"
+    vectorized = True
 
 
 class BatchScan(Scan):
@@ -161,7 +203,11 @@ class BatchGuard(GuardOp):
 
 
 class BatchProject(ProjectOp):
-    """π over batches: projected sub-tuples built from pre-extracted columns."""
+    """π over batches: projected value dicts built from pre-extracted columns.
+
+    The output is a :class:`LazyBatch` — the (typically much smaller) projected
+    tuples are only constructed when something downstream needs row objects.
+    """
 
     name = "batch-project"
     vectorized = True
@@ -180,8 +226,8 @@ class BatchProject(ProjectOp):
                 op.rows_in += count
                 stats.tuples_scanned += count
                 columns = [batch.column(name) for name in names]
-                out: List[FlexTuple] = []
-                append = out.append
+                out_values: List[dict] = []
+                out_hashes: List[int] = []
                 for i in range(count):
                     items = {}
                     for name, values in zip(names, columns):
@@ -190,10 +236,157 @@ class BatchProject(ProjectOp):
                             items[name] = value
                     if not items:
                         continue
-                    projected = FlexTuple(items)
-                    if projected not in seen:
-                        add_seen(projected)
-                        append(projected)
+                    key = frozenset(items.items())
+                    if key not in seen:
+                        add_seen(key)
+                        out_values.append(items)
+                        out_hashes.append(hash(key))
+                if out_values:
+                    op.rows_out += len(out_values)
+                    op.batches_out += 1
+                    yield LazyBatch(out_values, out_hashes)
+
+        return emit()
+
+
+class BatchExtension(ExtendOp):
+    """ε over batches: one presence test per batch, extended value dicts out.
+
+    Entirely a column/dict transform — no tuples are read or built; the
+    extended rows travel as a :class:`LazyBatch`.
+    """
+
+    name = "batch-extend"
+    vectorized = True
+
+    def __init__(self, child, attribute, value):
+        super().__init__(child, attribute, value)
+        self._compiled = CompiledExtension(attribute, value)
+
+    def _generate(self, ctx, op, child) -> Iterator[TupleBatch]:
+        op.invocations += 1
+
+        def emit() -> Iterator[TupleBatch]:
+            stats = ctx.stats
+            for raw in child:
+                batch = TupleBatch.of(raw)
+                count = len(batch)
+                if not count:
+                    continue
+                op.rows_in += count
+                stats.tuples_scanned += count
+                values = self._compiled.transform(batch)
+                op.rows_out += count
+                op.batches_out += 1
+                yield LazyBatch(values)
+
+        return emit()
+
+
+class BatchRename(RenameOp):
+    """ρ over batches: renamed value dicts with hashed dedup (renames can collapse)."""
+
+    name = "batch-rename"
+    vectorized = True
+
+    def __init__(self, child, mapping):
+        super().__init__(child, mapping)
+        self._compiled = CompiledRename(self.mapping)
+
+    def _generate(self, ctx, op, child) -> Iterator[TupleBatch]:
+        op.invocations += 1
+        transform = self._compiled.transform_row
+
+        def emit() -> Iterator[TupleBatch]:
+            stats = ctx.stats
+            seen = set()
+            add_seen = seen.add
+            for raw in child:
+                batch = TupleBatch.of(raw)
+                count = len(batch)
+                op.rows_in += count
+                stats.tuples_scanned += count
+                out_values: List[dict] = []
+                out_hashes: List[int] = []
+                for values in batch.values_list():
+                    renamed = transform(values)
+                    key = frozenset(renamed.items())
+                    if key not in seen:
+                        add_seen(key)
+                        out_values.append(renamed)
+                        out_hashes.append(hash(key))
+                if out_values:
+                    op.rows_out += len(out_values)
+                    op.batches_out += 1
+                    yield LazyBatch(out_values, out_hashes)
+
+        return emit()
+
+
+class _BatchUnion:
+    """Shared implementation of the batch union forms (bulk counters, streamed
+    dedup).  Mixed in before the row classes so their ``isinstance`` identity
+    is preserved."""
+
+    vectorized = True
+
+    def _generate(self, ctx, op, left, right) -> Iterator[TupleBatch]:
+        op.invocations += 1
+
+        def emit() -> Iterator[TupleBatch]:
+            stats = ctx.stats
+            seen = set()
+            add_seen = seen.add
+            for stream in (left, right):
+                for raw in stream:
+                    batch = TupleBatch.of(raw)
+                    count = len(batch)
+                    op.rows_in += count
+                    stats.tuples_scanned += count
+                    out: List[FlexTuple] = []
+                    append = out.append
+                    for tup in batch.rows:
+                        if tup not in seen:
+                            add_seen(tup)
+                            append(tup)
+                    if out:
+                        op.rows_out += len(out)
+                        op.batches_out += 1
+                        yield TupleBatch(out)
+
+        return emit()
+
+
+class BatchMergeUnion(_BatchUnion, MergeUnion):
+    """∪ over batches: per-batch dedup against the running seen-set."""
+
+    name = "batch-merge-union"
+
+
+class BatchOuterUnion(_BatchUnion, OuterUnionOp):
+    """The outer union restoring horizontal decompositions, batch form."""
+
+    name = "batch-outer-union"
+
+
+class BatchDifference(DifferenceOp):
+    """− over batches: hashed right side, whole-batch membership filtering."""
+
+    name = "batch-difference"
+    vectorized = True
+
+    def _generate(self, ctx, op, left, right) -> Iterator[TupleBatch]:
+        op.invocations += 1
+        exclude = self._materialize(op, right)
+
+        def emit() -> Iterator[TupleBatch]:
+            stats = ctx.stats
+            for raw in left:
+                batch = TupleBatch.of(raw)
+                count = len(batch)
+                op.rows_in += count
+                stats.tuples_scanned += count
+                out = [tup for tup in batch.rows if tup not in exclude]
                 if out:
                     op.rows_out += len(out)
                     op.batches_out += 1
@@ -202,13 +395,58 @@ class BatchProject(ProjectOp):
         return emit()
 
 
+class BatchProduct(ProductOp):
+    """× over batches: value-dict merges, lazy output, bulk pair counting."""
+
+    name = "batch-product"
+    vectorized = True
+
+    def _generate(self, ctx, op, left, right) -> Iterator[TupleBatch]:
+        op.invocations += 1
+        build = [tup._values for tup in self._materialize(op, right)]
+
+        def emit() -> Iterator[TupleBatch]:
+            stats = ctx.stats
+            size = ctx.batch_size
+            seen = set()
+            add_seen = seen.add
+            out_values: List[dict] = []
+            out_hashes: List[int] = []
+            for raw in left:
+                batch = TupleBatch.of(raw)
+                count = len(batch)
+                op.rows_in += count
+                stats.join_pairs_considered += count * len(build)
+                for row_values in batch.values_list():
+                    for partner in build:
+                        merged = merge_values(row_values, partner)
+                        key = frozenset(merged.items())
+                        if key not in seen:
+                            add_seen(key)
+                            out_values.append(merged)
+                            out_hashes.append(hash(key))
+                            if len(out_values) >= size:
+                                op.rows_out += len(out_values)
+                                op.batches_out += 1
+                                yield LazyBatch(out_values, out_hashes)
+                                out_values, out_hashes = [], []
+            if out_values:
+                op.rows_out += len(out_values)
+                op.batches_out += 1
+                yield LazyBatch(out_values, out_hashes)
+
+        return emit()
+
+
 def _build_buckets(op, ctx, stream, names) -> Dict:
-    """Drain a build-side batch stream into join-key buckets.
+    """Drain a build-side batch stream into join-key buckets of value dicts.
 
     Rows lacking a join attribute are partitioned out via the presence bitmap
     and cost one guard check each (they can never join) — identical to the row
     engine's guard-aware partitioning.  Single-attribute joins key buckets by
-    the bare value, multi-attribute joins by the value tuple.
+    the bare value, multi-attribute joins by the value tuple.  The bucket
+    payloads are the rows' plain value dicts — ready for the lazy column merge
+    of the probe loop, never materialized when the build side was lazy.
     """
     stats = ctx.stats
     buckets: Dict = {}
@@ -219,21 +457,27 @@ def _build_buckets(op, ctx, stream, names) -> Dict:
         count = len(batch)
         op.rows_in += count
         stats.guard_checks += count
-        rows = batch.rows
+        values_list = batch.values_list()
         if single:
             for i, value in enumerate(batch.column(names[0])):
                 if value is not MISSING:
-                    setdefault(value, []).append(rows[i])
+                    setdefault(value, []).append(values_list[i])
         else:
             columns = [batch.column(name) for name in names]
             for i, key in enumerate(zip(*columns)):
                 if all(value is not MISSING for value in key):
-                    setdefault(key, []).append(rows[i])
+                    setdefault(key, []).append(values_list[i])
     return buckets
 
 
 class BatchHashJoin(HashJoin):
     """⋈ by build/probe over batch columns (statically known join attributes).
+
+    The probe loop zips probe-side and build-side value dicts into merged dicts
+    — disagreement on shared non-join attributes raises eagerly, duplicates are
+    dropped eagerly via hashed keys — and emits them as :class:`LazyBatch`
+    chunks; the merged ``FlexTuple``s themselves are built only when the rows
+    reach row-mode code or the result set.
 
     The natural-join case whose attribute set depends on the data (``on=None``)
     has no batch form — it must materialize both sides to discover the shared
@@ -243,10 +487,13 @@ class BatchHashJoin(HashJoin):
     name = "batch-hash-join"
     vectorized = True
 
-    def __init__(self, left, right, on=None):
+    def __init__(self, left, right, on=None, lazy=True):
         super().__init__(left, right, on=on)
         if self.on is None or not len(self.on):
             raise AlgebraError("a batch hash join needs static join attributes")
+        #: ``lazy=False`` materializes the merged tuples before emitting each
+        #: batch — the pre-lazy behaviour, kept for A/B benchmarking ("core")
+        self.lazy = lazy
 
     def _generate(self, ctx, op, left, right) -> Iterator[TupleBatch]:
         op.invocations += 1
@@ -264,9 +511,9 @@ class BatchHashJoin(HashJoin):
                 count = len(batch)
                 op.rows_in += count
                 stats.guard_checks += count
-                rows = batch.rows
-                out: List[FlexTuple] = []
-                append = out.append
+                values_list = batch.values_list()
+                out_values: List[dict] = []
+                out_hashes: List[int] = []
                 if single:
                     probes = enumerate(batch.column(names[0]))
                 else:
@@ -282,25 +529,36 @@ class BatchHashJoin(HashJoin):
                     if partners is None:
                         continue
                     stats.join_pairs_considered += len(partners)
-                    row = rows[i]
+                    row_values = values_list[i]
                     for partner in partners:
-                        merged = row.merge(partner)
-                        if merged not in seen:
-                            add_seen(merged)
-                            append(merged)
-                if out:
-                    op.rows_out += len(out)
+                        merged = merge_values(row_values, partner)
+                        dedup = frozenset(merged.items())
+                        if dedup not in seen:
+                            add_seen(dedup)
+                            out_values.append(merged)
+                            out_hashes.append(hash(dedup))
+                if out_values:
+                    op.rows_out += len(out_values)
                     op.batches_out += 1
-                    yield TupleBatch(out)
+                    batch = LazyBatch(out_values, out_hashes)
+                    if not self.lazy:
+                        batch.rows  # noqa: B018 — eager materialization (A/B baseline)
+                    yield batch
 
         return emit()
 
 
 class BatchIndexLookupJoin(IndexLookupJoin):
-    """⋈ probing a maintained hash index, with batch-column outer-side access."""
+    """⋈ probing a maintained hash index, with batch-column outer-side access
+    and the same lazy column-merged output as :class:`BatchHashJoin`."""
 
     name = "batch-index-lookup-join"
     vectorized = True
+
+    def __init__(self, outer, relation, on, lazy=True):
+        super().__init__(outer, relation, on)
+        #: see :class:`BatchHashJoin` — eager materialization for A/B baselines
+        self.lazy = lazy
 
     def _generate(self, ctx, op, outer) -> Iterator[TupleBatch]:
         op.invocations += 1
@@ -322,7 +580,7 @@ class BatchIndexLookupJoin(IndexLookupJoin):
             lookup = lambda probe: buckets.get(probe, ())  # noqa: E731
 
         probe_names = [a.name for a in probe_attributes]
-        remaining = self.on - probe_attributes
+        remaining = [a.name for a in (self.on - probe_attributes)]
         on_names = [a.name for a in self.on]
 
         def emit() -> Iterator[TupleBatch]:
@@ -335,9 +593,9 @@ class BatchIndexLookupJoin(IndexLookupJoin):
                 count = len(batch)
                 op.rows_in += count
                 stats.guard_checks += count
-                rows = batch.rows
-                out: List[FlexTuple] = []
-                append = out.append
+                values_list = batch.values_list()
+                out_values: List[dict] = []
+                out_hashes: List[int] = []
                 probe_columns = [batch.column(name) for name in probe_names]
                 on_columns = [batch.column(name) for name in on_names]
                 for i in range(count):
@@ -351,20 +609,115 @@ class BatchIndexLookupJoin(IndexLookupJoin):
                     stats.join_pairs_considered += len(partners)
                     if not partners:
                         continue
-                    row = rows[i]
+                    row_values = values_list[i]
                     for partner in partners:
+                        partner_values = partner._values
                         if remaining:
-                            if not partner.is_defined_on(remaining):
+                            if any(partner_values.get(name, MISSING) != row_values[name]
+                                   for name in remaining):
                                 continue
-                            if any(partner[a] != row[a] for a in remaining):
-                                continue
-                        merged = row.merge(partner)
-                        if merged not in seen:
-                            add_seen(merged)
-                            append(merged)
-                if out:
-                    op.rows_out += len(out)
+                        merged = merge_values(row_values, partner_values)
+                        dedup = frozenset(merged.items())
+                        if dedup not in seen:
+                            add_seen(dedup)
+                            out_values.append(merged)
+                            out_hashes.append(hash(dedup))
+                if out_values:
+                    op.rows_out += len(out_values)
                     op.batches_out += 1
-                    yield TupleBatch(out)
+                    batch = LazyBatch(out_values, out_hashes)
+                    if not self.lazy:
+                        batch.rows  # noqa: B018 — eager materialization (A/B baseline)
+                    yield batch
+
+        return emit()
+
+
+class BatchMultiwayJoin(MultiwayJoinOp):
+    """The multiway join restoring vertical decompositions, value-dict form.
+
+    The master and each dependent fragment are drained into content-keyed dict
+    tables (batch streams, bulk ``rows_in`` accounting); each merge stage then
+    works purely on value dicts — master rows without a partner pass through
+    unchanged, exactly like the row operator — and the final table is emitted
+    as :class:`LazyBatch` chunks.  Across an n-way restoration this avoids
+    building every intermediate merged ``FlexTuple`` once per stage.
+    """
+
+    name = "batch-multiway-join"
+    vectorized = True
+
+    def _generate(self, ctx, op, master, *fragments) -> Iterator[TupleBatch]:
+        op.invocations += 1
+        stats = ctx.stats
+        on_names = [a.name for a in self.on]
+        single = len(on_names) == 1
+        on_name = on_names[0] if single else None
+
+        def drain(stream):
+            # Parallel (values, hashes) lists; every input stream is distinct
+            # by the operator contract, so no content keys are rebuilt here.
+            all_values: List = []
+            all_hashes: List = []
+            for raw in stream:
+                batch = TupleBatch.of(raw)
+                op.rows_in += len(batch)
+                all_values.extend(batch.values_list())
+                all_hashes.extend(batch.hashes_list())
+            return all_values, all_hashes
+
+        current_values, current_hashes = drain(master)
+        for stream in fragments:
+            fragment_values, _fragment_hashes = drain(stream)
+            buckets: Dict = {}
+            setdefault = buckets.setdefault
+            for values in fragment_values:
+                if single:
+                    if on_name in values:
+                        setdefault(values[on_name], []).append(values)
+                elif all(name in values for name in on_names):
+                    setdefault(tuple(values[name] for name in on_names),
+                               []).append(values)
+            get = buckets.get
+            # Pass-through rows stay distinct (they were), and can never equal
+            # a merged row (their join-key bucket was empty or they lack a join
+            # attribute a merged row has) — only merged rows need the seen-set.
+            out_values: List = []
+            out_hashes: List = []
+            append_values = out_values.append
+            append_hashes = out_hashes.append
+            seen_merged = set()
+            add_seen = seen_merged.add
+            for values, hash_ in zip(current_values, current_hashes):
+                if single:
+                    key = values.get(on_name, MISSING)
+                    partners = None if key is MISSING else get(key)
+                else:
+                    if all(name in values for name in on_names):
+                        partners = get(tuple(values[name] for name in on_names))
+                    else:
+                        partners = None
+                if partners is None:
+                    append_values(values)
+                    append_hashes(hash_)
+                    continue
+                stats.join_pairs_considered += len(partners)
+                for partner in partners:
+                    combined = merge_values(values, partner)
+                    dedup = frozenset(combined.items())
+                    if dedup not in seen_merged:
+                        add_seen(dedup)
+                        append_values(combined)
+                        append_hashes(hash(dedup))
+            current_values, current_hashes = out_values, out_hashes
+
+        def emit() -> Iterator[TupleBatch]:
+            size = ctx.batch_size
+            for start in range(0, len(current_values), size):
+                chunk_values = current_values[start:start + size]
+                op.rows_out += len(chunk_values)
+                op.batches_out += 1
+                yield LazyBatch(chunk_values,
+                                current_hashes[start:start + size])
 
         return emit()

@@ -18,16 +18,27 @@ vectorized alternative: it still owns the row objects (results must be sets of
 * :meth:`take` selects rows by index — the output of a compiled predicate — in
   a single list comprehension.
 
+:class:`LazyBatch` is the **lazy merged batch** the batch joins and the batch
+reshaping operators emit: it carries plain per-row value *dicts* (the column
+merge of a probe row and its build partner, an extended/renamed/projected row)
+and defers :class:`FlexTuple` construction until something actually needs row
+objects — a row-mode operator pulling the stream, an interpreted predicate, or
+the final result-set collection.  Column access, presence bitmaps and
+``take``-style selection all operate directly on the value dicts, so a batch
+pipeline of joins, filters and reshapes never builds tuples for rows a
+downstream operator discards.
+
 Batches interoperate with the row engine transparently: they have ``len()`` and
-iterate their rows, which is all the row operators (and the result collector)
-require of a batch, and :meth:`TupleBatch.of` wraps a row-engine list without
-copying.
+iterate their rows (materializing a lazy batch on first touch), which is all the
+row operators (and the result collector) require of a batch, and
+:meth:`TupleBatch.of` wraps a row-engine list without copying.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
+from repro.errors import TupleError
 from repro.model.tuples import FlexTuple
 
 
@@ -55,6 +66,26 @@ def mask_indices(mask: int) -> List[int]:
     return indices
 
 
+def merge_values(left: Dict[str, object], right: Dict[str, object]) -> Dict[str, object]:
+    """Merge two per-row value dicts with :meth:`FlexTuple.merge` semantics.
+
+    Overlapping attributes must agree (``TupleError`` otherwise — raised
+    *eagerly*, so a lazy join surfaces merge conflicts at exactly the point the
+    row engine would); the right side's value is kept on agreement, mirroring
+    the row merge (:meth:`FlexTuple.merge` overwrites with ``other``'s value —
+    1 and 1.0 are equal but not identical).  The common disjoint case costs one
+    dict-splat and a length check.
+    """
+    merged = {**left, **right}
+    if len(merged) != len(left) + len(right):
+        for name, value in right.items():
+            if name in left and left[name] != value:
+                raise TupleError(
+                    "cannot merge tuples: they disagree on attribute {!r}".format(name)
+                )
+    return merged
+
+
 class TupleBatch:
     """A batch of heterogeneous tuples with cached column views.
 
@@ -63,18 +94,19 @@ class TupleBatch:
     stale otherwise.
     """
 
-    __slots__ = ("rows", "_columns", "_masks", "_full_mask")
+    __slots__ = ("_rows", "_columns", "_masks", "_full_mask", "_values_list")
 
     def __init__(self, rows: List[FlexTuple]):
-        self.rows = rows
+        self._rows = rows
         self._columns: Dict[str, List] = {}
         self._masks: Dict[str, int] = {}
         self._full_mask = (1 << len(rows)) - 1
+        self._values_list: Optional[List[Dict[str, object]]] = None
 
     @classmethod
     def of(cls, batch) -> "TupleBatch":
         """Coerce a row-engine batch (any iterable of tuples) without copying lists."""
-        if isinstance(batch, cls):
+        if isinstance(batch, TupleBatch):
             return batch
         if isinstance(batch, list):
             return cls(batch)
@@ -87,14 +119,19 @@ class TupleBatch:
 
     # -- container protocol (what the row engine expects of a batch) -----------------
 
+    @property
+    def rows(self) -> List[FlexTuple]:
+        """The row objects (lazy batches materialize them on first access)."""
+        return self._rows
+
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self._rows)
 
     def __iter__(self) -> Iterator[FlexTuple]:
         return iter(self.rows)
 
     def __bool__(self) -> bool:
-        return bool(self.rows)
+        return len(self) > 0
 
     def to_tuples(self) -> List[FlexTuple]:
         """The rows as a plain list (a copy)."""
@@ -107,6 +144,28 @@ class TupleBatch:
         """The bitmap with one set bit per row (every row selected/present)."""
         return self._full_mask
 
+    def values_list(self) -> List[Dict[str, object]]:
+        """One plain value dict per row (shared, never to be mutated).
+
+        This is the uniform fast path the batch joins use: a regular batch
+        answers with its rows' internal dicts, a :class:`LazyBatch` with the
+        pending dicts it already holds — no tuple materialization either way.
+        """
+        values = self._values_list
+        if values is None:
+            values = [row._values for row in self._rows]
+            self._values_list = values
+        return values
+
+    def hashes_list(self) -> List[int]:
+        """One ``FlexTuple``-compatible hash per row.
+
+        Regular batches answer from the rows' cached hashes; a lazy batch
+        returns the hashes it carried from its producer (or derives and caches
+        them).  Lets consumers key hash tables without rebuilding content keys.
+        """
+        return [row._hash for row in self.rows]
+
     def column(self, name: str) -> List:
         """One attribute of every row as a flat value array, with ``MISSING`` in
         rows lacking the attribute.  Extracted once per batch and cached."""
@@ -114,7 +173,7 @@ class TupleBatch:
         if values is None:
             # FlexTuple._values is the tuple's internal attribute dict; the batch
             # container is the model layer's designated fast path over it.
-            values = [row._values.get(name, MISSING) for row in self.rows]
+            values = [row.get(name, MISSING) for row in self.values_list()]
             self._columns[name] = values
         return values
 
@@ -144,7 +203,7 @@ class TupleBatch:
 
     def take(self, indices: Sequence[int]) -> "TupleBatch":
         """A new batch of the rows at ``indices`` (column caches are not carried)."""
-        rows = self.rows
+        rows = self._rows
         return TupleBatch([rows[i] for i in indices])
 
     def take_mask(self, mask: int) -> "TupleBatch":
@@ -155,5 +214,75 @@ class TupleBatch:
 
     def __repr__(self) -> str:
         return "TupleBatch({} rows, {} cached columns)".format(
-            len(self.rows), len(self._columns)
+            len(self), len(self._columns)
+        )
+
+
+class LazyBatch(TupleBatch):
+    """A batch of *pending* rows: value dicts whose ``FlexTuple``s are built on demand.
+
+    The batch joins emit these — build columns and probe columns zipped by the
+    selection vector into merged value dicts — as do the batch forms of
+    extension, rename and projection.  ``hashes`` optionally carries the
+    precomputed ``FlexTuple``-compatible hash per row (joins derive it from the
+    ``frozenset`` dedup key anyway); without it, materialization computes the
+    hashes itself.
+
+    Column access, presence masks and :meth:`take` answer straight from the
+    dicts; only iteration / :attr:`rows` access materializes — which is exactly
+    when tuples cross into a row-mode operator or the final result set.
+    """
+
+    __slots__ = ("_values", "_hashes")
+
+    def __init__(self, values: List[Dict[str, object]],
+                 hashes: Optional[List[int]] = None):
+        self._rows = None
+        self._columns = {}
+        self._masks = {}
+        self._full_mask = (1 << len(values)) - 1
+        self._values = values
+        self._values_list = values
+        self._hashes = hashes
+
+    @property
+    def rows(self) -> List[FlexTuple]:
+        rows = self._rows
+        if rows is None:
+            from_parts = FlexTuple.from_parts
+            if self._hashes is None:
+                rows = [from_parts(values) for values in self._values]
+            else:
+                rows = [from_parts(values, hash_)
+                        for values, hash_ in zip(self._values, self._hashes)]
+            self._rows = rows
+        return rows
+
+    @property
+    def materialized(self) -> bool:
+        """Whether the row objects have been built (diagnostics / tests)."""
+        return self._rows is not None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def values_list(self) -> List[Dict[str, object]]:
+        return self._values
+
+    def hashes_list(self) -> List[int]:
+        hashes = self._hashes
+        if hashes is None:
+            hashes = [hash(frozenset(values.items())) for values in self._values]
+            self._hashes = hashes
+        return hashes
+
+    def take(self, indices: Sequence[int]) -> "LazyBatch":
+        values = self._values
+        hashes = self._hashes
+        return LazyBatch([values[i] for i in indices],
+                         None if hashes is None else [hashes[i] for i in indices])
+
+    def __repr__(self) -> str:
+        return "LazyBatch({} rows, materialized={})".format(
+            len(self), self._rows is not None
         )

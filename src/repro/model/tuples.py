@@ -44,19 +44,48 @@ class FlexTuple:
                 raise TupleError("attribute {!r} given twice".format(key))
             merged[key] = value
         self._values: Dict[str, object] = merged
-        self._attrs = AttributeSet(merged.keys())
+        self._attrs = None
         self._hash = hash(frozenset(self._values.items()))
+
+    @classmethod
+    def from_parts(cls, values: Dict[str, object], hash_: int = None) -> "FlexTuple":
+        """Fast construction from an already-normalized value dict.
+
+        The batch execution layer (:mod:`repro.model.batches`) builds merged /
+        transformed value dicts column-at-a-time and materializes tuples only
+        when they cross into row-mode code; this constructor skips the
+        per-attribute normalization of ``__init__`` and reuses a precomputed
+        hash when the caller already derived one (``hash(frozenset(items))`` —
+        the exact hash ``__init__`` computes).  ``values`` is adopted by
+        reference and must never be mutated afterwards, and every key must be a
+        plain attribute-name string.
+        """
+        self = cls.__new__(cls)
+        self._values = values
+        self._attrs = None
+        self._hash = hash(frozenset(values.items())) if hash_ is None else hash_
+        return self
 
     # -- the paper's interface ------------------------------------------------------
 
     @property
     def attributes(self) -> AttributeSet:
-        """``attr(t)`` — the attribute set this tuple is defined on."""
-        return self._attrs
+        """``attr(t)`` — the attribute set this tuple is defined on.
+
+        Built lazily: result tuples that are only hashed, compared or read by
+        value (the vast majority in the execution engine) never pay for the
+        attribute-set object.
+        """
+        attrs = self._attrs
+        if attrs is None:
+            attrs = AttributeSet(self._values.keys())
+            self._attrs = attrs
+        return attrs
 
     def is_defined_on(self, attributes) -> bool:
         """``True`` when every attribute of ``attributes`` is present (a type guard)."""
-        return attrset(attributes).issubset(self._attrs)
+        values = self._values
+        return all(a.name in values for a in attrset(attributes))
 
     def project(self, attributes) -> "FlexTuple":
         """``t[X]`` — restrict the tuple to the attribute set ``X``.
@@ -65,16 +94,16 @@ class FlexTuple:
         the partial restriction used by outer operators.
         """
         attributes = attrset(attributes)
-        missing = attributes - self._attrs
+        missing = attributes - self.attributes
         if missing:
             raise TupleError(
-                "tuple is not defined on {}; defined on {}".format(missing, self._attrs)
+                "tuple is not defined on {}; defined on {}".format(missing, self.attributes)
             )
         return FlexTuple({a.name: self._values[a.name] for a in attributes})
 
     def project_existing(self, attributes) -> "FlexTuple":
         """Restrict to the attributes of ``X`` that the tuple actually possesses."""
-        attributes = attrset(attributes) & self._attrs
+        attributes = attrset(attributes) & self.attributes
         return FlexTuple({a.name: self._values[a.name] for a in attributes})
 
     def agrees_with(self, other: "FlexTuple", attributes) -> bool:
@@ -93,7 +122,7 @@ class FlexTuple:
         except KeyError:
             raise TupleError(
                 "tuple is not defined on attribute {!r} (defined on {})".format(
-                    name, self._attrs
+                    name, self.attributes
                 )
             ) from None
 
@@ -105,14 +134,14 @@ class FlexTuple:
         return _attr_name(attribute) in self._values
 
     def __iter__(self) -> Iterator[Attribute]:
-        return iter(self._attrs)
+        return iter(self.attributes)
 
     def __len__(self) -> int:
         return len(self._values)
 
     def items(self) -> Iterator[Tuple[str, object]]:
         """Iterate ``(attribute name, value)`` pairs in sorted attribute order."""
-        for attribute in self._attrs:
+        for attribute in self.attributes:
             yield attribute.name, self._values[attribute.name]
 
     def as_dict(self) -> Dict[str, object]:
@@ -146,7 +175,7 @@ class FlexTuple:
     def remove(self, attributes) -> "FlexTuple":
         """Return a copy without the given attributes (must all be present)."""
         attributes = attrset(attributes)
-        return self.project(self._attrs - attributes)
+        return self.project(self.attributes - attributes)
 
     def merge(self, other: "FlexTuple") -> "FlexTuple":
         """Combine two tuples defined on disjoint or agreeing attribute sets.

@@ -74,12 +74,17 @@ from repro.algebra.expressions import (
 )
 from repro.algebra.predicates import And, FalsePredicate, PresencePredicate
 from repro.errors import OptimizerError, ReproError
+from repro.model.attributes import attrset
 from repro.stats.statistics import TableStatistics, join_selectivity
 
 #: default fraction of tuples surviving a selection when nothing better is known
 DEFAULT_SELECTIVITY = 0.5
 #: default fraction of tuples surviving a type guard
 DEFAULT_GUARD_SELECTIVITY = 0.8
+
+#: assumed average tuple width (attributes per tuple) when neither statistics
+#: nor a declared scheme can answer
+DEFAULT_TUPLE_WIDTH = 8.0
 
 #: relative per-tuple cost of interpreted (row-at-a-time) operator work
 ROW_TUPLE_COST = 1.0
@@ -282,6 +287,80 @@ class CostModel:
             return None
         combined = parts[0] if len(parts) == 1 else And(*parts)
         return _base_cardinality(self.source, node.name) * statistics.selectivity(combined)
+
+    def estimate_width(self, expression: Expression) -> float:
+        """Estimated average tuple width (attribute count) of the result.
+
+        Base relations answer from the variant-tag frequency table of their
+        fresh statistics (the *actual* average attributes per tuple, which for
+        variant records is well below the universe size), falling back to the
+        declared scheme's attribute universe and finally to
+        :data:`DEFAULT_TUPLE_WIDTH`.  Joins add their input widths minus the
+        shared join attributes; reshaping operators adjust by what they add or
+        drop.  The physical planner feeds this into the adaptive batch-size
+        decision — wide tuples get smaller batches.
+        """
+        if isinstance(expression, EmptyRelation):
+            return 0.0
+        if isinstance(expression, RelationRef):
+            statistics = self.table_statistics(expression.name)
+            if statistics is not None:
+                width = statistics.average_width()
+                if width > 0.0:
+                    return width
+            declared = self._declared_width(expression.name)
+            return declared if declared else DEFAULT_TUPLE_WIDTH
+        if isinstance(expression, (Selection, TypeGuardNode)):
+            return self.estimate_width(expression.child)
+        if isinstance(expression, Projection):
+            return min(self.estimate_width(expression.child),
+                       float(len(expression.attributes)))
+        if isinstance(expression, Extension):
+            return self.estimate_width(expression.child) + 1.0
+        if isinstance(expression, Rename):
+            return self.estimate_width(expression.child)
+        if isinstance(expression, NaturalJoin):
+            width = (self.estimate_width(expression.left)
+                     + self.estimate_width(expression.right))
+            if expression.on is not None:
+                width -= float(len(expression.on))
+            return max(width, 1.0)
+        if isinstance(expression, Product):
+            return (self.estimate_width(expression.left)
+                    + self.estimate_width(expression.right))
+        if isinstance(expression, MultiwayJoin):
+            width = sum(self.estimate_width(child) for child in expression.children)
+            width -= float(len(expression.on) * (len(expression.children) - 1))
+            return max(width, 1.0)
+        if isinstance(expression, (Union,)):
+            return max(self.estimate_width(child) for child in expression.children)
+        if isinstance(expression, Difference):
+            return self.estimate_width(expression.children[0])
+        return DEFAULT_TUPLE_WIDTH
+
+    def _declared_width(self, name: str) -> Optional[float]:
+        """The attribute-universe size of a base relation's declared scheme."""
+        if self.source is None:
+            return None
+        relation = None
+        if hasattr(self.source, "relation"):
+            try:
+                relation = self.source.relation(name)
+            except Exception:
+                return None
+        elif isinstance(self.source, dict):
+            relation = self.source.get(name)
+        if relation is None:
+            return None
+        definition = getattr(relation, "definition", None)
+        scheme = getattr(definition, "scheme", None) or getattr(relation, "scheme", None)
+        attributes = getattr(scheme, "attributes", None)
+        if attributes is None:
+            return None
+        try:
+            return float(len(attrset(attributes)))
+        except Exception:
+            return None
 
     def _join_selectivity(self, expression: NaturalJoin) -> float:
         """Selectivity of a natural join over the pair count, from both sides' stats."""

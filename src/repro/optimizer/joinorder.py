@@ -42,10 +42,17 @@ its post-selection size.  Each edge carries a join selectivity from
 ``1/max(ndv_L, ndv_R)`` per join attribute multiplied by both sides'
 variant-tag *presence* fractions (tuples lacking a join attribute can never
 join — the flexible-relation twist).  The cardinality of a join of two
-subsets is ``|A| · |B| · ∏ sel(e)`` over the edges crossing the cut; because
-every edge crosses exactly one node of any join tree, all orders agree on the
-root cardinality and differ only in intermediate sizes — exactly the quantity
-the search minimizes.  The work of a join is the hash-join build+probe cost
+subsets is ``|A| · |B| · sel(cut)`` where the cut selectivity is accounted
+**per crossing attribute, not per crossing edge** (:func:`_cut_selectivity`):
+when one attribute connects more than two atoms the extractor materializes an
+edge per carrier pair, and multiplying per edge would charge the same equality
+constraint several times, collapsing the estimates of attribute cliques.  Per
+attribute, the NDV factor applies once per cut (each side's NDV being the
+minimum over its carriers) and each carrier's presence fraction is charged at
+the cut where it first meets another carrier; for plain two-carrier attributes
+this is exactly the per-edge number.  All orders agree on the root cardinality
+under this accounting and differ only in intermediate sizes — exactly the
+quantity the search minimizes.  The work of a join is the hash-join build+probe cost
 (both input cardinalities plus the output), or the cheaper index-probe cost
 ``|outer| · (probe_factor + index fan-out)`` when the inner side is a base
 relation with a covering maintained hash index — mirroring the planner's
@@ -130,6 +137,8 @@ class JoinAtom:
         self.expression = expression
         #: every attribute a tuple of this atom can possibly carry
         self.universe = universe
+        #: the universe as a plain name set (hot path of the cut selectivity)
+        self.universe_names = {a.name for a in universe}
         self.estimate = estimate
         #: base-table statistics when the atom is a selection/guard/projection
         #: chain over one base relation (feeds the edge selectivities)
@@ -499,14 +508,66 @@ def _index_fanout(cost_model: CostModel, atom: JoinAtom,
     return max(1.0, bucket_size())
 
 
+def _cut_selectivity(graph: JoinGraph, left_mask: int,
+                     right_mask: int) -> Optional[float]:
+    """Per-**attribute** selectivity of the cut between two disjoint subsets.
+
+    Multiplying per crossing *edge* over-reduces the estimate on attribute
+    cliques: when one attribute connects more than two atoms, the extractor
+    creates an edge for every carrier pair, so a single equality constraint is
+    charged once per edge (``1/ndv`` squared or worse) and its presence
+    fractions are double-counted.  This accounts per attribute instead:
+
+    * the NDV-overlap factor ``1/max(ndv_L, ndv_R)`` is applied **once** per
+      crossing attribute, where each side's NDV is the *minimum* over its
+      carriers (the side's internal joins on the attribute already reduced its
+      distinct count);
+    * a carrier atom's *presence* fraction for an attribute is charged only at
+      the cut where it first meets another carrier of that attribute (i.e.
+      when it is its side's only carrier), and **marginally per attribute**:
+      every (atom, attribute) pair is charged at exactly one cut of any join
+      tree, which keeps the root-cardinality estimate independent of the join
+      order — the invariant the DP relies on.  (Charging an atom's attributes
+      jointly would price correlated presence better at a single cut, but a
+      tree that splits the same charges across two cuts would price them
+      marginally, making the root estimate depend on the association.)
+
+    For a plain two-carrier single-attribute edge this reduces exactly to the
+    per-edge number, so non-clique graphs (stars, chains) price identically.
+    Returns ``None`` when any involved atom lacks base statistics — the caller
+    then falls back to the per-edge default-selectivity product.
+    """
+    names = sorted({attribute.name for edge in graph.edges
+                    if _crosses(edge, left_mask, right_mask)
+                    for attribute in edge.attributes})
+    selectivity = 1.0
+    for name in names:
+        side_ndvs = []
+        for mask in (left_mask, right_mask):
+            carriers = [atom for atom in graph._atoms_of(mask)
+                        if name in atom.universe_names]
+            if any(atom.statistics is None for atom in carriers):
+                return None
+            if not carriers:
+                return None
+            if len(carriers) == 1:
+                selectivity *= carriers[0].statistics.guard_selectivity([name])
+            side_ndvs.append(min(atom.statistics.ndv(name) for atom in carriers))
+        selectivity /= float(max(side_ndvs[0], side_ndvs[1], 1))
+    return max(0.0, min(1.0, selectivity))
+
+
 def _join_plans(graph: JoinGraph, cost_model: CostModel,
                 left: _Plan, right: _Plan,
                 probe_factor: float = INDEX_PROBE_COST_FACTOR) -> _Plan:
     """Price the join of two disjoint partial plans (hash or index probe)."""
-    selectivity = 1.0
-    for edge in graph.edges:
-        if _crosses(edge, left.mask, right.mask):
-            selectivity *= edge.selectivity
+    selectivity = _cut_selectivity(graph, left.mask, right.mask)
+    if selectivity is None:
+        # Statistics-free atoms: the per-edge default selectivities apply.
+        selectivity = 1.0
+        for edge in graph.edges:
+            if _crosses(edge, left.mask, right.mask):
+                selectivity *= edge.selectivity
     cardinality = left.cardinality * right.cardinality * selectivity
     bound = left.bound * right.bound
     join_work = left.cardinality + right.cardinality + cardinality

@@ -243,6 +243,24 @@ class TableStatistics:
         stats = self.attributes.get(name)
         return stats.ndv if stats is not None else 0
 
+    def average_width(self) -> float:
+        """Average number of attributes a tuple carries.
+
+        Derived from the variant-tag frequency table (exact at ANALYZE time,
+        scaled under sampling), falling back to summed per-attribute presence
+        fractions.  Feeds the planner's adaptive batch sizing — wide variant
+        tuples get smaller batches.
+        """
+        if self.row_count <= 0:
+            return 0.0
+        if self.variant_counts:
+            observed = sum(self.variant_counts.values())
+            if observed > 0:
+                total = sum(len(combo) * count
+                            for combo, count in self.variant_counts.items())
+                return total / float(observed)
+        return sum(stats.presence for stats in self.attributes.values())
+
     def variant_frequencies(self) -> Dict[FrozenSet[str], float]:
         """The variant-tag frequency table as fractions of the row count."""
         if self.row_count <= 0:

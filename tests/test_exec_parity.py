@@ -7,8 +7,17 @@ exactly the same tuple sets (and raise the same error class where the algebra
 rejects an operation, e.g. merging disagreeing tuples).
 
 Every check runs the whole corpus through **both** physical modes: the row
-engine and the vectorized batch engine (compiled predicates, column arrays), so
-the batch path is differentially verified against the naive evaluator too.
+engine and the vectorized batch engine (compiled predicates, column arrays,
+lazy merged join output), so the batch path is differentially verified against
+the naive evaluator too.  On success the row and batch executions must also
+report **identical ExecutionStats totals** — vectorization amortizes the
+bookkeeping, it never changes what is counted — and the whole-plan corpus in
+:class:`TestWholePlanVectorization` additionally pins down ``plan.mode``:
+every operator shape (unions, difference, extension, rename, products,
+multiway joins, variant records missing join attributes, empty inputs) must
+lower to ``"batch"``, with only the documented row fallbacks
+(data-dependent ``on=None`` joins, provably tiny nested-loop inputs)
+reporting ``"mixed"``.
 """
 
 import random
@@ -52,22 +61,33 @@ from repro.workloads.generators import (
 
 
 def _outcome(thunk):
-    """Run a query path, capturing either the tuple set or the error class."""
+    """Run a query path, capturing the tuple set and stats, or the error class."""
     try:
-        return ("ok", thunk().tuples)
+        result = thunk()
+        return ("ok", result.tuples), result.stats
     except ReproError as error:
-        return ("error", type(error))
+        return ("error", type(error)), None
 
 
-def assert_parity(expression, source, batch_size=7):
+def assert_parity(expression, source, batch_size=7, expected_mode=None):
     """Physical execution — row mode AND the vectorized batch mode — agrees
-    with the naive evaluator on the result (or on the raised error class)."""
-    naive = _outcome(lambda: Evaluator(source).evaluate(expression))
+    with the naive evaluator on the result (or on the raised error class), and
+    the row and batch runs count identical ExecutionStats totals.  With
+    ``expected_mode`` the vectorized plan's ``mode`` is pinned down too."""
+    naive, _ = _outcome(lambda: Evaluator(source).evaluate(expression))
+    stats_by_mode = {}
     for vectorize in (False, True):
         plan = PhysicalPlanner(source=source, vectorize=vectorize).plan(expression)
-        physical = _outcome(lambda: plan.execute(source, batch_size=batch_size))
+        physical, stats = _outcome(lambda: plan.execute(source, batch_size=batch_size))
         assert physical == naive, "physical[{}] {} != naive {}\nplan:\n{}".format(
             plan.mode, physical[0], naive[0], plan.explain()
+        )
+        if vectorize and expected_mode is not None:
+            assert plan.mode == expected_mode, plan.explain()
+        stats_by_mode[vectorize] = stats
+    if stats_by_mode[False] is not None and stats_by_mode[True] is not None:
+        assert stats_by_mode[False].as_dict() == stats_by_mode[True].as_dict(), (
+            "row and batch executions disagree on the work counters"
         )
 
 
@@ -153,6 +173,97 @@ class TestVariantEdgeCases:
         assert_parity(Selection(RelationRef("employees"),
                                 Not(PresencePredicate(["typing_speed"]))),
                       employee_source)
+
+
+class TestWholePlanVectorization:
+    """Every operator shape must lower to a pure-batch plan (mode == "batch"),
+    produce the naive result, and count exactly what the row engine counts —
+    the whole-plan follow-up to PR 3's hot-path-only vectorization."""
+
+    def test_union_of_heterogeneous_selections(self, employee_source):
+        assert_parity(
+            OuterUnion(
+                Selection(RelationRef("employees"),
+                          Comparison("jobtype", "=", "secretary")),
+                Selection(RelationRef("employees"),
+                          Comparison("jobtype", "=", "salesman"))),
+            employee_source, expected_mode="batch")
+        assert_parity(Union(RelationRef("employees"), RelationRef("assignments")),
+                      employee_source, expected_mode="batch")
+
+    def test_difference(self, employee_source):
+        assert_parity(
+            Difference(RelationRef("employees"),
+                       Selection(RelationRef("employees"),
+                                 Comparison("salary", ">", 4000.0))),
+            employee_source, expected_mode="batch")
+
+    def test_extension_and_rename(self, employee_source):
+        assert_parity(
+            Extension(Rename(Projection(RelationRef("employees"),
+                                        ["emp_id", "jobtype"]),
+                             {"jobtype": "kind"}),
+                      "source", "hr"),
+            employee_source, expected_mode="batch")
+
+    def test_extension_collision_raises_in_both_modes(self, employee_source):
+        assert_parity(Extension(RelationRef("employees"), "salary", 0.0),
+                      employee_source, expected_mode="batch")
+
+    def test_product(self, employee_source):
+        assert_parity(
+            Product(Projection(RelationRef("employees"), ["emp_id"]),
+                    Projection(RelationRef("assignments"), ["project"])),
+            employee_source, expected_mode="batch")
+
+    def test_multiway_join_with_variant_fragments(self, employee_source):
+        master = Projection(RelationRef("employees"), ["emp_id", "name", "jobtype"])
+        fragments = [
+            Projection(TypeGuardNode(RelationRef("employees"), [attr]),
+                       ["emp_id", attr])
+            for attr in ("typing_speed", "sales_commission")
+        ]
+        assert_parity(MultiwayJoin([master] + fragments, on=["emp_id"]),
+                      employee_source, expected_mode="batch")
+
+    def test_join_with_variant_records_missing_join_attribute(self, employee_source):
+        # typing_speed exists only on secretaries; everything else is guarded
+        # out of the hash build via the presence bitmap.
+        assert_parity(
+            NaturalJoin(RelationRef("employees"),
+                        Projection(RelationRef("employees"),
+                                   ["emp_id", "typing_speed"]),
+                        on=["emp_id", "typing_speed"]),
+            employee_source, expected_mode="batch")
+
+    def test_empty_inputs_stay_batch(self, employee_source):
+        assert_parity(Union(Selection(RelationRef("employees"),
+                                      Comparison("salary", ">", 4000.0)),
+                            EmptyRelation()),
+                      employee_source, expected_mode="batch")
+        assert_parity(Difference(EmptyRelation(), RelationRef("employees")),
+                      employee_source, expected_mode="batch")
+
+    def test_whole_realistic_plan_is_batch(self, employee_source):
+        """The paper's restoration shape: outer union over heterogeneous
+        variants, an n-way multiway join, a tag extension — one batch plan."""
+        master = OuterUnion(
+            Selection(RelationRef("employees"),
+                      Comparison("jobtype", "=", "secretary")),
+            Selection(RelationRef("employees"),
+                      Comparison("jobtype", "=", "software engineer")))
+        fragment = Projection(RelationRef("employees"), ["emp_id", "salary"])
+        query = Extension(
+            MultiwayJoin([master, fragment, RelationRef("assignments")],
+                         on=["emp_id"]),
+            "restored", True)
+        assert_parity(query, employee_source, expected_mode="batch")
+
+    def test_data_dependent_join_still_falls_back_to_row(self, employee_source):
+        # on=None: the shared attributes depend on the data, no batch form.
+        assert_parity(NaturalJoin(RelationRef("employees"),
+                                  RelationRef("assignments")),
+                      employee_source, expected_mode="mixed")
 
 
 class TestEngineParity:

@@ -197,6 +197,89 @@ def assert_search_parity(expression, source, modes=SEARCH_MODES):
                 mode, vectorize, plan.explain())
 
 
+class TestCliqueSelectivity:
+    """One attribute joining >2 atoms must be priced once per cut, not per edge."""
+
+    @pytest.fixture(scope="class")
+    def clique_db(self):
+        database = Database()
+        for t in (1, 2, 3):
+            attr = "a{}".format(t)
+            table = database.create_table(
+                "r{}".format(t), FlexibleScheme.relational(["x", attr]), key=[attr])
+            # 20 distinct x values, each appearing 3 times per table.
+            table.insert_many({"x": i % 20 + 1, attr: i} for i in range(60))
+        database.analyze()
+        return database
+
+    def clique_query(self):
+        return NaturalJoin(
+            NaturalJoin(RelationRef("r1"), RelationRef("r2"), on=["x"]),
+            RelationRef("r3"), on=["x"])
+
+    def test_estimate_matches_true_cardinality(self, clique_db):
+        query = self.clique_query()
+        true_rows = len(Evaluator(clique_db).evaluate(query).tuples)
+        assert true_rows == 20 * 27  # 20 ids × 3 partners per table
+        plan = PhysicalPlanner(clique_db).plan(query)
+        report = plan.join_search[0]
+        # Per-edge accounting charged 1/ndv once per crossing edge (two edges
+        # cross the top cut of a 3-clique), under-estimating 20×.
+        assert report.estimated_rows == pytest.approx(true_rows, rel=0.05)
+        assert plan.root.estimated_rows == pytest.approx(report.estimated_rows)
+
+    def test_order_independence_of_root_estimate(self, clique_db):
+        """Every association of the clique prices to the same root cardinality."""
+        trees = [
+            NaturalJoin(NaturalJoin(RelationRef(a), RelationRef(b), on=["x"]),
+                        RelationRef(c), on=["x"])
+            for a, b, c in itertools.permutations(["r1", "r2", "r3"])
+        ]
+        estimates = set()
+        for tree in trees:
+            plan = PhysicalPlanner(clique_db).plan(tree)
+            estimates.add(round(plan.join_search[0].estimated_rows, 6))
+        assert len(estimates) == 1
+
+    def test_clique_parity(self, clique_db):
+        assert_search_parity(self.clique_query(), clique_db)
+
+    def test_anticorrelated_hub_presence_is_order_independent(self):
+        """Presence is charged marginally per (atom, attribute): a hub whose
+        join attributes never co-occur must price to the same root cardinality
+        under every association (joint charging would price ((A⋈B)⋈C) at 0)."""
+        database = Database()
+        a = database.create_table("a", FlexibleScheme.relational(["x", "z", "aa"]),
+                                  key=["aa"])
+        a.insert_many({"x": i % 10, "z": i % 4, "aa": i} for i in range(40))
+        b = database.create_table("b", FlexibleScheme.relational(["y", "z", "bb"]),
+                                  key=["bb"])
+        b.insert_many({"y": i % 10, "z": i % 4, "bb": i} for i in range(40))
+        c = database.create_table(
+            "c", FlexibleScheme(1, 2, ["cid", FlexibleScheme(0, 2, ["x", "y"])]),
+            key=["cid"])
+        # anti-correlated variants: every row carries x or y, never both
+        c.insert_many({"cid": i, ("x" if i % 2 else "y"): i % 10}
+                      for i in range(40))
+        database.analyze()
+        trees = [
+            NaturalJoin(NaturalJoin(RelationRef("a"), RelationRef("b"), on=["z"]),
+                        RelationRef("c"), on=["x", "y"]),
+            NaturalJoin(NaturalJoin(RelationRef("a"), RelationRef("c"), on=["x"]),
+                        RelationRef("b"), on=["y", "z"]),
+            NaturalJoin(NaturalJoin(RelationRef("b"), RelationRef("c"), on=["y"]),
+                        RelationRef("a"), on=["x", "z"]),
+        ]
+        estimates = set()
+        for tree in trees:
+            plan = PhysicalPlanner(database).plan(tree)
+            assert plan.join_search, "expected the search to run"
+            estimates.add(round(plan.join_search[0].estimated_rows, 9))
+        assert len(estimates) == 1
+        for tree in trees:
+            assert_search_parity(tree, database)
+
+
 class TestParity:
     def test_star_query_all_modes(self, star_db):
         assert_search_parity(star_join_query(), star_db)

@@ -31,8 +31,11 @@ from repro.algebra.predicates import (
     TruePredicate,
 )
 from repro.engine import Database, dumps_database, loads_database
-from repro.errors import CatalogError
+from repro.errors import CatalogError, TupleError
 from repro.exec import (
+    MAX_BATCH_SIZE,
+    MIN_BATCH_SIZE,
+    TARGET_BATCH_CELLS,
     BatchFilter,
     BatchHashJoin,
     BatchIndexLookupJoin,
@@ -40,15 +43,24 @@ from repro.exec import (
     BatchScan,
     CompiledGuard,
     CompiledPredicate,
+    ExecutionContext,
     HashJoin,
     IndexLookupJoin,
     PhysicalExecutor,
     PhysicalPlanner,
     Scan,
+    adaptive_batch_size,
 )
 from repro.exec.planner import PhysicalPlan
-from repro.model.batches import MISSING, TupleBatch, mask_indices
+from repro.model.batches import (
+    LazyBatch,
+    MISSING,
+    TupleBatch,
+    mask_indices,
+    merge_values,
+)
 from repro.model.tuples import FlexTuple
+from repro.optimizer.cost import CostModel
 from repro.stats import estimate_ndv, reservoir_sample
 from repro.workloads.employees import generate_employees
 from repro.workloads.events import generate_events, skewed_join_database
@@ -253,9 +265,16 @@ class TestModeExposure:
         row_plan = PhysicalPlanner(source=source, vectorize=False).plan(expression)
         assert batch_plan.mode == "batch" and isinstance(batch_plan.root, BatchScan)
         assert row_plan.mode == "row" and not isinstance(row_plan.root, BatchScan)
-        mixed = PhysicalPlanner(source=source).plan(
-            Union(RelationRef("employees"), RelationRef("assignments")))
+        # Unions vectorize too since the whole-plan pass; "core" reproduces the
+        # pre-PR5 lowering (row-mode unions inside a batch plan = mixed), and a
+        # data-dependent natural join (on=None) still falls back to row mode.
+        union = Union(RelationRef("employees"), RelationRef("assignments"))
+        assert PhysicalPlanner(source=source).plan(union).mode == "batch"
+        mixed = PhysicalPlanner(source=source, batch_forms="core").plan(union)
         assert mixed.mode == "mixed"
+        data_dependent = PhysicalPlanner(source=source).plan(
+            NaturalJoin(RelationRef("employees"), RelationRef("assignments")))
+        assert data_dependent.mode == "mixed"
 
     def test_database_execute_mode_switch(self, employee_database):
         query = Selection(RelationRef("employees"), Comparison("salary", ">", 4000.0))
@@ -321,6 +340,110 @@ class TestPlanCacheCounters:
         hits = executor.cache_hits
         employee_database.execute(query, mode="row")
         employee_database.execute(query, mode="batch")
+        assert executor.cache_hits == hits + 2
+
+
+class TestLazyBatches:
+    """Lazy merged join output: tuples materialize only when row-mode code
+    (or the result set) touches them."""
+
+    def join_plan(self, source):
+        return PhysicalPlanner(source=source).plan(
+            NaturalJoin(RelationRef("employees"), RelationRef("assignments"),
+                        on=["emp_id"]))
+
+    def test_join_emits_lazy_batches(self, source):
+        plan = self.join_plan(source)
+        batches = list(plan.root.run(
+            ExecutionContext(source, batch_size=4096)))
+        assert batches and all(isinstance(b, LazyBatch) for b in batches)
+        assert not any(b.materialized for b in batches)
+        # Column access answers from the merged value dicts, still lazily.
+        assert MISSING not in batches[0].column("project")
+        assert not batches[0].materialized
+        # Iteration (what the result collector does) materializes.
+        rows = list(batches[0])
+        assert all(isinstance(row, FlexTuple) for row in rows)
+        assert batches[0].materialized
+
+    def test_filter_on_lazy_batch_narrows_without_materializing(self, source):
+        batch = LazyBatch([{"emp_id": i, "project": "p{}".format(i % 4)}
+                           for i in range(20)])
+        compiled = CompiledPredicate(Comparison("project", "=", "p1"))
+        narrowed = batch.take(compiled.select(batch))
+        assert isinstance(narrowed, LazyBatch) and len(narrowed) == 5
+        assert not batch.materialized and not narrowed.materialized
+
+    def test_lazy_rows_equal_eager_construction(self):
+        values = {"a": 1, "b": "x"}
+        lazy = LazyBatch([dict(values)]).rows[0]
+        assert lazy == FlexTuple(values)
+        assert hash(lazy) == hash(FlexTuple(values))
+
+    def test_merge_values_conflict_raises_eagerly(self):
+        with pytest.raises(TupleError):
+            merge_values({"a": 1, "b": 2}, {"a": 1, "b": 3})
+        assert merge_values({"a": 1}, {"b": 2}) == {"a": 1, "b": 2}
+        # the right value is kept on agreement, exactly as FlexTuple.merge
+        merged = merge_values({"a": 1, "c": 0}, {"a": 1.0, "b": 2})
+        row_merged = FlexTuple({"a": 1, "c": 0}).merge(FlexTuple({"a": 1.0, "b": 2}))
+        assert repr(merged["a"]) == repr(row_merged["a"]) == "1.0"
+
+
+class TestAdaptiveBatchSizing:
+    def test_heuristic_bounds(self):
+        assert adaptive_batch_size(8.0) == TARGET_BATCH_CELLS // 8
+        assert adaptive_batch_size(1.0) == MAX_BATCH_SIZE
+        assert adaptive_batch_size(1000.0) == MIN_BATCH_SIZE
+
+    def test_tiny_inputs_get_one_batch(self):
+        # 300 rows would be split by the width-derived size of a wide tuple;
+        # the heuristic widens to a single batch instead.
+        assert adaptive_batch_size(64.0, base_rows=300) == 300
+        assert adaptive_batch_size(64.0, base_rows=100_000) == TARGET_BATCH_CELLS // 64
+
+    def test_width_estimate_prefers_statistics(self):
+        database = skewed_join_database(big=400, small=40)
+        model = CostModel(database)
+        declared = model.estimate_width(RelationRef("events"))
+        assert declared == 4.0  # the scheme universe
+        database.analyze()
+        observed = CostModel(database).estimate_width(RelationRef("events"))
+        assert observed == pytest.approx(3.0)  # every variant carries 3 attrs
+
+    def test_plan_carries_adaptive_size_and_override(self, source):
+        expression = Selection(RelationRef("employees"),
+                               Comparison("salary", ">", 0.0))
+        plan = PhysicalPlanner(source=source).plan(expression)
+        assert plan.batch_size is not None
+        assert MIN_BATCH_SIZE <= plan.batch_size <= MAX_BATCH_SIZE
+        pinned = PhysicalPlanner(source=source).plan(expression, batch_size=7)
+        assert pinned.batch_size == 7
+        row_plan = PhysicalPlanner(source=source, vectorize=False).plan(expression)
+        assert row_plan.batch_size is None  # row default applies at execution
+
+    def test_database_batch_size_passthrough(self, employee_database):
+        query = Selection(RelationRef("employees"), Comparison("salary", ">", 0.0))
+        plan = employee_database.plan(query, batch_size=5)
+        assert plan.batch_size == 5
+        result = employee_database.execute(query, batch_size=5)
+        adaptive = employee_database.execute(query)
+        assert result.tuples == adaptive.tuples
+        assert "batch_size=" in employee_database.explain(query)
+
+    def test_plan_cache_keyed_on_batch_size(self, employee_database):
+        """A plan built (and sized) for one batch size must not be reused for
+        another — the PR 3 cache reused it regardless of the request."""
+        executor = employee_database.physical_executor
+        query = Selection(RelationRef("employees"), Comparison("salary", ">", 3.0))
+        employee_database.execute(query)
+        misses = executor.cache_misses
+        employee_database.execute(query, batch_size=32)
+        assert executor.cache_misses == misses + 1
+        assert employee_database.plan(query, batch_size=32).batch_size == 32
+        hits = executor.cache_hits
+        employee_database.execute(query, batch_size=32)
+        employee_database.execute(query)
         assert executor.cache_hits == hits + 2
 
 
