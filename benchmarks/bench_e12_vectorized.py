@@ -94,6 +94,7 @@ def test_report_batch_beats_row_by_3x(vectorized_database):
         "E12: σ(payload≤2 ∧ kind≠view)(events {b}) ⋈ sessions {s} — row vs batch".format(
             b=BIG_SIDE, s=SMALL_SIDE),
         rows, json_name="e12_vectorized_exec",
+        database=database, operators=batch.operator_report(),
     )
     assert batch.tuples == row.tuples
     # Identical counter semantics: vectorization only amortizes the bookkeeping.

@@ -81,6 +81,7 @@ def test_report_star_dp_beats_smallest_first(star_database):
     print_report(
         "E13: 6-way skewed star join (fact 5000, 5%-tag dim_rare) — search modes",
         rows, json_name="e13_star_join_order",
+        database=star_database, operators=results["dp"].operator_report(),
     )
     assert results["smallest"].tuples == results["dp"].tuples == results["greedy"].tuples
     smallest_pairs = results["smallest"].stats.join_pairs_considered

@@ -137,6 +137,7 @@ def test_report_full_batch_beats_mixed_by_2x(restoration_database):
         "E14: ε(ε(ρ((∪ ⊎ σ-variants) ⋈* 3 fragments ⋈ reviews))) on {}k employees"
         " — mixed vs whole-plan batch".format(EMPLOYEES // 1000),
         rows, json_name="e14_full_batch",
+        database=database, operators=full_result.operator_report(),
     )
     assert full_result.tuples == mixed_result.tuples
     # Identical counter semantics: vectorization only amortizes the bookkeeping.

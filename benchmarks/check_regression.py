@@ -27,8 +27,10 @@ import os
 import re
 import sys
 
-#: the reports whose speedup ratios are gated, and the gated metric column
-TRACKED_REPORTS = ("e12_vectorized_exec", "e14_full_batch")
+#: the reports whose speedup ratios are gated, and the gated metric column.
+#: e15's ratio is uninstrumented/instrumented wall-clock (≈1.0x): a future PR
+#: that makes the observability layer expensive drags it below its baseline.
+TRACKED_REPORTS = ("e12_vectorized_exec", "e14_full_batch", "e15_observability")
 
 DEFAULT_TOLERANCE = 0.2
 

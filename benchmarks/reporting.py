@@ -32,15 +32,24 @@ def emit_json(name, payload):
     return path
 
 
-def print_report(title, rows, json_name=None):
+def print_report(title, rows, json_name=None, database=None, operators=None):
     """Print a small aligned table (visible with ``pytest -s`` and in captured output).
 
     With ``json_name`` the same rows are also emitted as ``BENCH_<json_name>.json``.
+    ``database`` (a :class:`repro.Database`) embeds its ``metrics()`` snapshot
+    in the JSON payload; ``operators`` (a ``result.operator_report()`` list)
+    embeds the per-operator timing breakdown — so the perf trajectory records
+    where the time went, not just the totals.
     """
     print()
     print("== {} ==".format(title))
     if json_name is not None:
-        path = emit_json(json_name, {"title": title, "rows": rows})
+        payload = {"title": title, "rows": rows}
+        if database is not None:
+            payload["metrics"] = database.metrics()
+        if operators is not None:
+            payload["operators"] = operators
+        path = emit_json(json_name, payload)
         print("  (json: {})".format(path))
     if not rows:
         return

@@ -24,6 +24,9 @@ The package is organized in layers:
   joins), a physical planner lowering rewritten expressions, and a plan cache;
 * :mod:`repro.engine`    — an in-memory database with catalog, keys, indexes and
   dependency enforcement on DML;
+* :mod:`repro.obs`       — observability: EXPLAIN ANALYZE with per-node Q-error
+  and wall time, structured lifecycle tracing, process-wide metrics and a
+  slow-query log;
 * :mod:`repro.er`        — enhanced-ER specializations, their mapping onto flexible
   relations, horizontal/vertical decomposition along ADs;
 * :mod:`repro.embedding` — translation into variant-record types (the PASCAL
@@ -67,6 +70,14 @@ from repro.exec import (
     PhysicalPlanner,
     PlanCache,
 )
+from repro.obs import (
+    ExplainAnalyzeReport,
+    JsonTraceSink,
+    MetricsRegistry,
+    SlowQueryLog,
+    Tracer,
+    q_error,
+)
 from repro.stats import (
     AttributeStatistics,
     EquiDepthHistogram,
@@ -105,6 +116,12 @@ __all__ = [
     "PhysicalPlan",
     "PhysicalPlanner",
     "PlanCache",
+    "ExplainAnalyzeReport",
+    "JsonTraceSink",
+    "MetricsRegistry",
+    "SlowQueryLog",
+    "Tracer",
+    "q_error",
     "AttributeStatistics",
     "EquiDepthHistogram",
     "StatisticsCatalog",

@@ -9,6 +9,7 @@ declared dependencies, and runs (optionally optimized) queries.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.algebra.evaluator import EvaluationResult, Evaluator
@@ -25,6 +26,20 @@ from repro.model.domains import Domain
 from repro.model.relation import FlexibleRelation
 from repro.model.scheme import FlexibleScheme
 from repro.model.tuples import FlexTuple
+from repro.obs.explain import (
+    ExplainAnalyzeReport,
+    node_q_errors,
+    pair_nodes_with_stats,
+    render_explain_analyze,
+)
+from repro.obs.metrics import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    SlowQueryLog,
+    q_error,
+)
+from repro.obs.trace import Tracer
 from repro.optimizer.joinorder import SEARCH_MODES
 from repro.optimizer.planner import Planner
 from repro.optimizer.rewrite_rules import RewriteReport
@@ -210,12 +225,19 @@ class Database:
     ``join_order_search`` selects the physical planner's n-way join-order
     strategy (``"dp"`` — the default Selinger-style search — or ``"greedy"``,
     ``"smallest"``, ``"none"``; see :mod:`repro.optimizer.joinorder`).
+
+    Every database carries the observability layer of :mod:`repro.obs`: a
+    :class:`~repro.obs.trace.Tracer` (inert until a sink is attached), a
+    :class:`~repro.obs.metrics.MetricsRegistry` behind :meth:`metrics`, and a
+    :class:`~repro.obs.metrics.SlowQueryLog` whose threshold (in seconds) is
+    set by ``slow_query_threshold``.
     """
 
     def __init__(self, enforce_constraints: bool = True,
                  auto_analyze: bool = False,
                  auto_analyze_fraction: float = 0.1,
-                 join_order_search: Optional[str] = None):
+                 join_order_search: Optional[str] = None,
+                 slow_query_threshold: float = 1.0):
         self.catalog = Catalog()
         self.enforce_constraints = enforce_constraints
         self._tables: Dict[str, Table] = {}
@@ -231,6 +253,12 @@ class Database:
             self, auto_analyze=auto_analyze,
             auto_analyze_fraction=auto_analyze_fraction,
         )
+        #: lifecycle spans/events — attach a sink to start recording
+        self.tracer = Tracer()
+        #: cross-query counters/gauges/histograms (snapshot via :meth:`metrics`)
+        self.metrics_registry = MetricsRegistry()
+        #: queries slower than the threshold, with their worst Q-error nodes
+        self.slow_query_log = SlowQueryLog(threshold=slow_query_threshold)
 
     @property
     def catalog_version(self) -> int:
@@ -385,18 +413,78 @@ class Database:
                             mode: Optional[str] = None,
                             batch_size: Optional[int] = None) -> Tuple[EvaluationResult, RewriteReport]:
         """Evaluate an expression and also return the optimizer's rewrite report."""
+        if executor not in ("physical", "naive"):
+            raise CatalogError("unknown executor {!r}; use 'physical' or 'naive'".format(executor))
         vectorize = self._vectorize_flag(mode)
         report = RewriteReport()
-        if optimize:
-            planner = Planner(catalog=self)
-            expression, report = planner.optimize(expression)
-        if executor == "physical":
-            return self.physical_executor.execute(expression, vectorize=vectorize,
-                                                  batch_size=batch_size), report
-        if executor == "naive":
+        with self.tracer.span("query.execute", executor=executor):
+            if optimize:
+                with self.tracer.span("rewrite"):
+                    planner = Planner(catalog=self)
+                    expression, report = planner.optimize(expression)
+            if executor == "physical":
+                _plan, result = self._run_physical(expression, vectorize, batch_size)
+                return result, report
             evaluator = Evaluator(self)
             return evaluator.evaluate(expression), report
-        raise CatalogError("unknown executor {!r}; use 'physical' or 'naive'".format(executor))
+
+    def _run_physical(self, expression: Expression, vectorize: Optional[bool],
+                      batch_size: Optional[int]):
+        """Plan + execute through the physical layer, feeding the metrics.
+
+        The shared tail of :meth:`execute_with_report` and
+        :meth:`explain_analyze`: both must observe identical counters, spans
+        and slow-query accounting, differing only in how they render.
+        """
+        executor = self.physical_executor
+        started = perf_counter()
+        with self.tracer.span("plan"):
+            plan = executor.plan(expression, vectorize=vectorize,
+                                 batch_size=batch_size)
+        with self.tracer.span("execute", mode=plan.mode) as span:
+            result = plan.execute(self, use_indexes=executor.use_indexes)
+            span.set(rows=len(result.tuples))
+        self._observe_query(expression, plan, result, perf_counter() - started)
+        return plan, result
+
+    def _observe_query(self, expression: Expression, plan: PhysicalPlan,
+                       result, elapsed: float) -> None:
+        """Fold one executed query into the registry and the slow-query log."""
+        registry = self.metrics_registry
+        registry.counter("queries.executed").add()
+        stats = result.stats
+        registry.counter("rows.scanned").add(stats.tuples_scanned)
+        registry.counter("rows.joined").add(stats.join_pairs_considered)
+        registry.counter("rows.produced").add(stats.tuples_produced)
+        registry.histogram("query.seconds", LATENCY_BUCKETS).observe(elapsed)
+        registry.histogram("plan.batch_size", BATCH_SIZE_BUCKETS).observe(
+            result.context.batch_size)
+        # Worst observed Q-error per plan-node *kind* — the estimate-quality
+        # signal adaptive re-optimization (ROADMAP item 4) will consume.
+        for node, op_stats in pair_nodes_with_stats(plan, result.context):
+            if op_stats is None:
+                continue
+            registry.max_gauge("qerror." + node.name).observe(
+                q_error(node.estimated_rows, op_stats.rows_out))
+        if elapsed >= self.slow_query_log.threshold:
+            self.slow_query_log.observe(
+                repr(expression), plan.mode, elapsed, len(result.tuples),
+                node_q_errors(plan, result.context))
+            self.tracer.event("slow-query", seconds=elapsed,
+                              threshold=self.slow_query_log.threshold)
+
+    def metrics(self) -> Dict[str, object]:
+        """A JSON-friendly snapshot of everything the engine measured so far:
+        the metric instruments, the plan cache (with hit rate), and the
+        slow-query log."""
+        cache = self.physical_executor.cache_info()
+        lookups = cache["hits"] + cache["misses"]
+        return {
+            "metrics": self.metrics_registry.snapshot(),
+            "plan_cache": dict(cache, hit_rate=(cache["hits"] / lookups
+                                                if lookups else None)),
+            "slow_queries": self.slow_query_log.as_dict(),
+        }
 
     def plan(self, expression: Expression, optimize: bool = True,
              mode: Optional[str] = None,
@@ -433,6 +521,33 @@ class Database:
             cache["hits"], cache["misses"])
         return header + "\n" + plan.explain()
 
+    def explain_analyze(self, expression: Expression, optimize: bool = True,
+                        mode: Optional[str] = None,
+                        batch_size: Optional[int] = None) -> ExplainAnalyzeReport:
+        """Execute ``expression`` and render the plan annotated with what
+        actually happened: per node, actual vs estimated rows, the Q-error
+        ``max(est/actual, actual/est)``, inclusive wall time and batch count.
+
+        The query **really runs** — results and counters are identical to
+        :meth:`execute` (asserted by the test suite) and the execution feeds
+        :meth:`metrics` and the slow-query log exactly like a normal query.
+        ``print(db.explain_analyze(expr))`` shows the transcript;
+        ``report.result`` carries the tuples and the per-operator breakdown,
+        ``report.q_errors`` the per-node estimate quality.
+        """
+        with self.tracer.span("query.explain-analyze"):
+            if optimize:
+                with self.tracer.span("rewrite"):
+                    planner = Planner(catalog=self)
+                    expression, _report = planner.optimize(expression)
+            plan, result = self._run_physical(
+                expression, self._vectorize_flag(mode), batch_size)
+        header = "mode={}  batch_size={}  wall={:.3f}ms  rows={}".format(
+            plan.mode, result.context.batch_size,
+            result.wall_seconds * 1000.0, len(result.tuples))
+        text = render_explain_analyze(plan, result, header=header)
+        return ExplainAnalyzeReport(plan, result, text)
+
     def query(self, text: str, optimize: bool = True,
               executor: str = "physical", mode: Optional[str] = None,
               batch_size: Optional[int] = None) -> EvaluationResult:
@@ -442,8 +557,11 @@ class Database:
         """
         from repro.query import parse_query
 
-        return self.execute(parse_query(text), optimize=optimize, executor=executor,
-                            mode=mode, batch_size=batch_size)
+        with self.tracer.span("query", text=text):
+            with self.tracer.span("parse"):
+                expression = parse_query(text)
+            return self.execute(expression, optimize=optimize, executor=executor,
+                                mode=mode, batch_size=batch_size)
 
     # -- transactions ----------------------------------------------------------------------------------
 

@@ -54,7 +54,15 @@ def adaptive_batch_size(width: float, base_rows: Optional[float] = None) -> int:
 
 
 class OperatorStats:
-    """Counters for one physical operator instance."""
+    """Counters for one physical operator instance.
+
+    ``wall_seconds`` is the operator's *inclusive* wall-clock time (its own
+    work plus its children's, as in PostgreSQL's EXPLAIN ANALYZE): the run
+    loop times the eager setup in ``_generate`` plus every batch pulled from
+    the operator, and pulling one batch from a parent drives the whole
+    subtree below it.  The clock ticks per batch, never per tuple, so the
+    overhead stays inside the E15 benchmark's ≤5% gate.
+    """
 
     def __init__(self, label: str):
         self.label = label
@@ -62,6 +70,7 @@ class OperatorStats:
         self.rows_out = 0
         self.batches_out = 0
         self.invocations = 0
+        self.wall_seconds = 0.0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -70,6 +79,7 @@ class OperatorStats:
             "rows_out": self.rows_out,
             "batches_out": self.batches_out,
             "invocations": self.invocations,
+            "wall_seconds": self.wall_seconds,
         }
 
     def __repr__(self) -> str:
@@ -91,14 +101,20 @@ class ExecutionContext:
     use_indexes:
         Whether :class:`~repro.exec.operators.Scan` may answer pushed-down equality
         predicates from the engine's hash indexes.
+    timing:
+        Whether operators maintain :attr:`OperatorStats.wall_seconds` (two
+        ``perf_counter`` reads per batch per operator).  On by default; the
+        E15 overhead benchmark runs with ``timing=False`` as its baseline.
     """
 
     def __init__(self, source, stats: Optional[ExecutionStats] = None,
-                 batch_size: int = DEFAULT_BATCH_SIZE, use_indexes: bool = True):
+                 batch_size: int = DEFAULT_BATCH_SIZE, use_indexes: bool = True,
+                 timing: bool = True):
         self.source = source
         self.stats = stats if stats is not None else ExecutionStats()
         self.batch_size = max(1, int(batch_size))
         self.use_indexes = use_indexes
+        self.timing = timing
         self._operator_stats: List[OperatorStats] = []
 
     def register_operator(self, label: str) -> OperatorStats:

@@ -28,6 +28,7 @@ from repro.exec.planner import (
     PhysicalResult,
     expression_key,
 )
+from repro.obs.trace import tracer_of
 
 
 class PlanCache:
@@ -140,11 +141,18 @@ class PhysicalExecutor:
                getattr(self.planner, "join_order_search", None),
                getattr(self.planner, "batch_forms", "all"),
                _catalog_version(self.source), _statistics_version(self.source))
+        tracer = tracer_of(self.source)
         plan = self.cache.get(key)
         if plan is None:
+            if tracer is not None:
+                tracer.event("plan-cache-miss", hits=self.cache.hits,
+                             misses=self.cache.misses)
             plan = self.planner.plan(expression, vectorize=effective,
                                      batch_size=requested)
             self.cache.put(key, plan)
+        elif tracer is not None:
+            tracer.event("plan-cache-hit", hits=self.cache.hits,
+                         misses=self.cache.misses)
         return plan
 
     def execute(self, expression: Expression,

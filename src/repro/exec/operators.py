@@ -35,6 +35,7 @@ to re-deduplicate their inputs.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.algebra.evaluator import _resolve_relation
@@ -69,11 +70,37 @@ class PhysicalOperator:
         return self.name
 
     def run(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        """Start execution: register stats (preorder) and return the batch stream."""
+        """Start execution: register stats (preorder) and return the batch stream.
+
+        With ``ctx.timing`` (the default) the operator's *inclusive* wall time
+        is accumulated into its :class:`OperatorStats`: the ``_generate`` call
+        itself is timed — operators with eager setup (hash-join build sides,
+        multiway-join drains, difference/product materialization) do real work
+        there — and each batch pulled from the returned stream adds the time
+        it took to produce.  Two clock reads per batch, nothing per tuple.
+        """
         ctx.stats.record_operator(self.name)
         op_stats = ctx.register_operator(self.label())
         child_streams = tuple(child.run(ctx) for child in self.children)
-        return self._generate(ctx, op_stats, *child_streams)
+        if not ctx.timing:
+            return self._generate(ctx, op_stats, *child_streams)
+        started = perf_counter()
+        stream = self._generate(ctx, op_stats, *child_streams)
+        op_stats.wall_seconds += perf_counter() - started
+        return self._timed_stream(op_stats, stream)
+
+    @staticmethod
+    def _timed_stream(op: OperatorStats, stream: Iterator[Batch]) -> Iterator[Batch]:
+        """Per-batch wall-clock accounting around an operator's output stream."""
+        while True:
+            started = perf_counter()
+            try:
+                batch = next(stream)
+            except StopIteration:
+                op.wall_seconds += perf_counter() - started
+                return
+            op.wall_seconds += perf_counter() - started
+            yield batch
 
     def _generate(self, ctx: ExecutionContext, op: OperatorStats, *children) -> Iterator[Batch]:
         raise NotImplementedError

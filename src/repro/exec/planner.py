@@ -59,6 +59,7 @@ which — combined with the engine's catalog version — keys the plan cache in
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Optional, Tuple
 
 from repro.algebra.evaluator import EvaluationResult, ExecutionStats
@@ -119,6 +120,7 @@ from repro.exec.vectorized import (
     BatchRename,
     BatchScan,
 )
+from repro.obs.trace import NOOP_SPAN, tracer_of
 from repro.optimizer.cost import CostEstimate, CostModel
 from repro.optimizer.joinorder import (
     DEFAULT_DP_THRESHOLD,
@@ -148,9 +150,12 @@ class PhysicalResult(EvaluationResult):
     global counters in ``result.stats`` keep the evaluator-compatible meaning.
     """
 
-    def __init__(self, tuples, stats: ExecutionStats, context: ExecutionContext):
+    def __init__(self, tuples, stats: ExecutionStats, context: ExecutionContext,
+                 wall_seconds: float = 0.0):
         super().__init__(tuples, stats)
         self.context = context
+        #: end-to-end wall-clock of the plan execution (root drain included)
+        self.wall_seconds = wall_seconds
 
     def operator_report(self):
         return self.context.operator_report()
@@ -196,25 +201,30 @@ class PhysicalPlan:
 
     def execute(self, source, stats: Optional[ExecutionStats] = None,
                 batch_size: Optional[int] = None,
-                use_indexes: bool = True) -> PhysicalResult:
+                use_indexes: bool = True,
+                timing: bool = True) -> PhysicalResult:
         """Run the plan against ``source`` and collect the result set.
 
         ``batch_size=None`` uses the plan's own sizing decision (the planner's
         adaptive choice, or the size the plan was requested under), falling
         back to the mode default: ~1024 tuples per batch for vectorized plans,
-        256 for row plans.
+        256 for row plans.  ``timing=False`` turns off the per-operator
+        wall-clock accounting (see :class:`~repro.exec.context.OperatorStats`);
+        the result's own ``wall_seconds`` is always measured.
         """
         if batch_size is None:
             batch_size = self.batch_size
         if batch_size is None:
             batch_size = DEFAULT_BATCH_SIZE if self.mode == "row" else VECTOR_BATCH_SIZE
         ctx = ExecutionContext(source, stats=stats, batch_size=batch_size,
-                               use_indexes=use_indexes)
+                               use_indexes=use_indexes, timing=timing)
+        started = perf_counter()
         tuples = set()
         for batch in self.root.run(ctx):
             tuples.update(batch)
+        wall = perf_counter() - started
         ctx.stats.tuples_produced = len(tuples)
-        return PhysicalResult(tuples, ctx.stats, ctx)
+        return PhysicalResult(tuples, ctx.stats, ctx, wall_seconds=wall)
 
     def explain(self) -> str:
         """Readable multi-line rendering of the plan.
@@ -279,6 +289,8 @@ class PhysicalPlanner:
         #: search results of the current plan() call (also keeps the rebuilt
         #: trees alive so the id-keyed memos above cannot alias freed nodes)
         self._search_results: list = []
+        #: the source's tracer for the duration of one plan() call
+        self._tracer = None
 
     def plan(self, expression: Expression,
              vectorize: Optional[bool] = None,
@@ -303,11 +315,20 @@ class PhysicalPlanner:
         self._search_results = []
         self._vectorize = self.vectorize if vectorize is None else vectorize
         self.cost_model.set_vectorized(self._vectorize)
+        self._tracer = tracer_of(self.source)
+        span = (self._tracer.span("physical-plan", vectorize=self._vectorize,
+                                  join_order_search=self.join_order_search,
+                                  batch_forms=self.batch_forms)
+                if self._tracer is not None else NOOP_SPAN)
         try:
-            root = self._lower(expression)
-            reports = tuple(result.report for result in self._search_results)
-            if batch_size is None and self._vectorize:
-                batch_size = self._adaptive_batch_size(expression)
+            with span:
+                self._trace_statistics_lookup()
+                root = self._lower(expression)
+                reports = tuple(result.report for result in self._search_results)
+                if batch_size is None and self._vectorize:
+                    batch_size = self._adaptive_batch_size(expression)
+                span.set(mode="batch" if self._vectorize else "row",
+                         batch_size=batch_size)
             return PhysicalPlan(root, expression, join_search=reports,
                                 batch_size=batch_size)
         finally:
@@ -316,6 +337,18 @@ class PhysicalPlanner:
             self._search_results = []
             self._vectorize = self.vectorize
             self.cost_model.set_vectorized(self.vectorize)
+            self._tracer = None
+
+    def _trace_statistics_lookup(self) -> None:
+        """Record which tables contribute fresh statistics to this plan."""
+        if self._tracer is None:
+            return
+        catalog = getattr(self.source, "statistics", None)
+        if catalog is None:
+            self._tracer.event("statistics-lookup", fresh=[], version=None)
+            return
+        self._tracer.event("statistics-lookup", fresh=catalog.fresh_names(),
+                           version=catalog.version)
 
     # -- lowering ------------------------------------------------------------------------
 
@@ -419,7 +452,8 @@ class PhysicalPlanner:
                              mode=self.join_order_search,
                              dp_threshold=self.join_dp_threshold,
                              memo=self._estimates,
-                             index_probe_cost_factor=self.index_probe_cost_factor)
+                             index_probe_cost_factor=self.index_probe_cost_factor,
+                             tracer=self._tracer)
         if result is None:
             return None
         self._search_results.append(result)

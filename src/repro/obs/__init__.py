@@ -1,0 +1,70 @@
+"""Observability for the flexible-relations engine.
+
+Three layers, all cheap-by-default (the E15 benchmark gates the whole package
+at ≤5% overhead on vectorized plans):
+
+* :mod:`repro.obs.trace` — structured spans/events over the query lifecycle
+  (parse → rewrite → statistics → join-order search → planning → execution,
+  plus plan-cache and ANALYZE events), off unless a sink is attached;
+* :mod:`repro.obs.metrics` — the process-wide :class:`MetricsRegistry` behind
+  ``Database.metrics()``, the :func:`q_error` estimate-quality measure, and
+  the threshold-configurable :class:`SlowQueryLog`;
+* :mod:`repro.obs.explain` — ``Database.explain_analyze()``: the executed
+  plan annotated per node with actual rows, Q-error, wall time and batches.
+
+This is the measurement substrate for ROADMAP item 4 (adaptive
+re-optimization): every estimate the planner makes is now compared against
+what execution observed.
+"""
+
+from repro.obs.explain import (
+    ExplainAnalyzeReport,
+    node_q_errors,
+    pair_nodes_with_stats,
+    plan_nodes,
+    render_explain_analyze,
+)
+from repro.obs.metrics import (
+    BATCH_SIZE_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MaxGauge,
+    MetricsRegistry,
+    SlowQueryEntry,
+    SlowQueryLog,
+    q_error,
+)
+from repro.obs.trace import (
+    NOOP_SPAN,
+    JsonTraceSink,
+    Span,
+    Tracer,
+    TraceSink,
+    tracer_of,
+)
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "LATENCY_BUCKETS",
+    "Counter",
+    "ExplainAnalyzeReport",
+    "Gauge",
+    "Histogram",
+    "JsonTraceSink",
+    "MaxGauge",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "SlowQueryEntry",
+    "SlowQueryLog",
+    "Span",
+    "TraceSink",
+    "Tracer",
+    "node_q_errors",
+    "pair_nodes_with_stats",
+    "plan_nodes",
+    "q_error",
+    "render_explain_analyze",
+    "tracer_of",
+]

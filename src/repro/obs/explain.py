@@ -1,0 +1,155 @@
+"""EXPLAIN ANALYZE: the executed plan annotated with what actually happened.
+
+``Database.explain_analyze(expr)`` runs the query for real (identical results
+and counters to ``execute`` — asserted by ``tests/test_observability.py``) and
+renders the physical plan tree with, per node:
+
+* ``actual_rows`` next to the planner's ``est_rows``,
+* the **Q-error** ``max(est/actual, actual/est)`` of that estimate
+  (see :func:`repro.obs.metrics.q_error` for the edge cases),
+* wall-clock time spent in the operator (inclusive of its children, as in
+  PostgreSQL's EXPLAIN ANALYZE — ticked per batch, see
+  :mod:`repro.exec.operators`), and
+* the number of batches it emitted.
+
+The pairing of plan nodes with run-time counters relies on a structural
+invariant of the execution layer: ``PhysicalOperator.run`` registers its
+:class:`~repro.exec.context.OperatorStats` in **preorder** (self before
+children, children left to right), so the context's registration order equals
+a preorder walk of the plan tree and the two line up positionally — no name
+matching, no back-pointers from operators into contexts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from repro.exec.context import OperatorStats
+from repro.obs.metrics import q_error
+
+
+def plan_nodes(plan) -> List[object]:
+    """The plan's operators in preorder — the order ``run()`` registers stats."""
+    nodes: List[object] = []
+    pending = [plan.root]
+    while pending:
+        node = pending.pop()
+        nodes.append(node)
+        pending.extend(reversed(node.children))
+    return nodes
+
+
+def pair_nodes_with_stats(plan, context) -> List[Tuple[object, Optional[OperatorStats]]]:
+    """Zip plan nodes with their executed :class:`OperatorStats`, positionally.
+
+    A plan that was never executed under ``context`` (or a hand-built context)
+    yields ``None`` stats for the unmatched tail rather than mispairing.
+    """
+    nodes = plan_nodes(plan)
+    stats = context.operator_stats
+    paired: List[Tuple[object, Optional[OperatorStats]]] = []
+    for index, node in enumerate(nodes):
+        op_stats = stats[index] if index < len(stats) else None
+        if op_stats is not None and op_stats.label != node.label():
+            # The positional invariant broke (someone executed a different
+            # plan under this context); refuse to annotate with wrong numbers.
+            op_stats = None
+        paired.append((node, op_stats))
+    return paired
+
+
+def node_q_errors(plan, context) -> List[Tuple[str, Optional[float]]]:
+    """Per-node ``(label, q_error)`` pairs for an executed plan, preorder."""
+    result = []
+    for node, op_stats in pair_nodes_with_stats(plan, context):
+        if op_stats is None:
+            result.append((node.label(), None))
+        else:
+            result.append((node.label(),
+                           q_error(node.estimated_rows, op_stats.rows_out)))
+    return result
+
+
+def _format_q(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if math.isinf(value):
+        return "inf"
+    return "{:.2f}".format(value)
+
+
+def _format_ms(seconds: float) -> str:
+    return "{:.3f}ms".format(seconds * 1000.0)
+
+
+def render_explain_analyze(plan, result, header: str = "") -> str:
+    """The annotated plan tree as a multi-line string.
+
+    ``result`` is the :class:`~repro.exec.planner.PhysicalResult` of executing
+    ``plan``; its context supplies the per-operator counters.  Join-search
+    reports (when the planner reordered an n-way join) render above the tree,
+    exactly as in ``plan.explain()``.
+    """
+    lines: List[str] = []
+    if header:
+        lines.append(header)
+    lines.extend(report.describe() for report in plan.join_search)
+    annotations = {id(node): op_stats
+                   for node, op_stats in pair_nodes_with_stats(plan, result.context)}
+
+    def render(node, indent: int) -> None:
+        line = "  " * indent + node.label()
+        if node.vectorized:
+            line += "  [batch]"
+        op_stats = annotations.get(id(node))
+        if op_stats is not None:
+            est = ("{:.1f}".format(node.estimated_rows)
+                   if node.estimated_rows is not None else "-")
+            line += ("  (actual_rows={} est_rows={} q={} time={} batches={})"
+                     .format(op_stats.rows_out, est,
+                             _format_q(q_error(node.estimated_rows,
+                                               op_stats.rows_out)),
+                             _format_ms(op_stats.wall_seconds),
+                             op_stats.batches_out))
+        lines.append(line)
+        for child in node.children:
+            render(child, indent + 1)
+
+    render(plan.root, 0)
+    return "\n".join(lines)
+
+
+class ExplainAnalyzeReport:
+    """The product of ``Database.explain_analyze``: text + the real result.
+
+    ``str(report)`` (or ``print(report)``) shows the annotated tree;
+    ``report.result`` is the full :class:`~repro.exec.planner.PhysicalResult`
+    (tuples, counters, per-operator breakdown) of the actual execution, and
+    ``report.q_errors`` the per-node estimate quality the adaptive layer will
+    feed on.
+    """
+
+    def __init__(self, plan, result, text: str):
+        self.plan = plan
+        self.result = result
+        self.text = text
+
+    @property
+    def tuples(self):
+        return self.result.tuples
+
+    @property
+    def q_errors(self) -> List[Tuple[str, Optional[float]]]:
+        return node_q_errors(self.plan, self.result.context)
+
+    def worst_q_error(self) -> Optional[float]:
+        values = [q for _label, q in self.q_errors if q is not None]
+        return max(values) if values else None
+
+    def __str__(self) -> str:
+        return self.text
+
+    def __repr__(self) -> str:
+        return "ExplainAnalyzeReport(rows={}, worst_q={})".format(
+            len(self.result.tuples), _format_q(self.worst_q_error()))

@@ -714,13 +714,16 @@ def order_joins(expression: Expression, cost_model: CostModel,
                 dp_threshold: int = DEFAULT_DP_THRESHOLD,
                 memo: Optional[Dict] = None,
                 index_probe_cost_factor: float = INDEX_PROBE_COST_FACTOR,
-                ) -> Optional[JoinOrderResult]:
+                tracer=None) -> Optional[JoinOrderResult]:
     """Search a join order for a nested NaturalJoin tree.
 
     Returns ``None`` when the tree is not reorderable (see
     :func:`extract_join_graph`) or ``mode == "none"``; otherwise a
     :class:`JoinOrderResult` whose expression is semantically equivalent to the
     input with the joins re-associated into the chosen order.
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer` or ``None``) records the
+    search as a ``join-order-search`` span carrying the report's numbers.
     """
     if mode == "none":
         return None
@@ -731,31 +734,42 @@ def order_joins(expression: Expression, cost_model: CostModel,
     graph = extract_join_graph(expression, source)
     if graph is None:
         return None
-    _price_atoms(graph, cost_model, memo if memo is not None else {})
 
-    fallback = False
-    effective = mode
-    if mode == "dp" and len(graph) > dp_threshold:
-        effective = "greedy"
-        fallback = True
-    if effective == "dp":
-        search = _search_dp
-    elif effective == "greedy":
-        search = _search_greedy
-    else:
-        search = _search_smallest
-    plan, subsets, considered, pruned = search(graph, cost_model,
-                                               index_probe_cost_factor)
-    if plan is None:
-        return None
+    span = (tracer.span("join-order-search", mode=mode)
+            if tracer is not None else None)
+    if span is not None:
+        span.__enter__()
+    try:
+        _price_atoms(graph, cost_model, memo if memo is not None else {})
 
-    estimates: Dict[int, CostEstimate] = {}
-    join_nodes: List[Expression] = []
-    ordered, order = _build_expression(graph, plan, estimates, join_nodes)
-    # The original root prices identically to the reordered root, so the
-    # planner's annotation of the node it was handed stays honest too.
-    estimates[id(expression)] = estimates[id(ordered)]
-    report = JoinSearchReport(effective, len(graph), subsets, considered, pruned,
-                              order, plan.cardinality, plan.cost,
-                              fallback=fallback)
-    return JoinOrderResult(ordered, estimates, join_nodes, report)
+        fallback = False
+        effective = mode
+        if mode == "dp" and len(graph) > dp_threshold:
+            effective = "greedy"
+            fallback = True
+        if effective == "dp":
+            search = _search_dp
+        elif effective == "greedy":
+            search = _search_greedy
+        else:
+            search = _search_smallest
+        plan, subsets, considered, pruned = search(graph, cost_model,
+                                                   index_probe_cost_factor)
+        if plan is None:
+            return None
+
+        estimates: Dict[int, CostEstimate] = {}
+        join_nodes: List[Expression] = []
+        ordered, order = _build_expression(graph, plan, estimates, join_nodes)
+        # The original root prices identically to the reordered root, so the
+        # planner's annotation of the node it was handed stays honest too.
+        estimates[id(expression)] = estimates[id(ordered)]
+        report = JoinSearchReport(effective, len(graph), subsets, considered, pruned,
+                                  order, plan.cardinality, plan.cost,
+                                  fallback=fallback)
+        if span is not None:
+            span.set(**report.as_dict())
+        return JoinOrderResult(ordered, estimates, join_nodes, report)
+    finally:
+        if span is not None:
+            span.__exit__(None, None, None)

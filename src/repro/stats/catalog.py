@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.obs.trace import tracer_of
 from repro.stats.statistics import TableStatistics, analyze_table
 
 
@@ -88,6 +89,7 @@ class StatisticsCatalog:
         ``None`` reads every tuple.
         """
         names = [name] if name is not None else self._database.tables()
+        tracer = tracer_of(self._database)
         for table_name in names:
             table = self._database.table(table_name)
             statistics = analyze_table(table, sample_size=sample_size)
@@ -95,6 +97,11 @@ class StatisticsCatalog:
                 statistics, table, getattr(table, "mutation_count", 0),
                 sample_size=sample_size,
             )
+            if tracer is not None:
+                tracer.event("analyze", table=table_name,
+                             rows=statistics.row_count,
+                             sample_size=sample_size,
+                             auto=self._auto_analyzing)
         self._version += 1
         return self
 
@@ -186,6 +193,10 @@ class StatisticsCatalog:
                         int(self.auto_analyze_fraction * entry.analyzed_rows))
         if mutations < threshold:
             return
+        tracer = tracer_of(self._database)
+        if tracer is not None:
+            tracer.event("auto-analyze", table=name, mutations=mutations,
+                         threshold=threshold)
         self._auto_analyzing = True
         try:
             self.analyze(name, sample_size=entry.sample_size)

@@ -61,33 +61,55 @@ from repro.workloads.generators import (
 
 
 def _outcome(thunk):
-    """Run a query path, capturing the tuple set and stats, or the error class."""
+    """Run a query path, capturing the tuple set and the result, or the error class."""
     try:
         result = thunk()
-        return ("ok", result.tuples), result.stats
+        return ("ok", result.tuples), result
     except ReproError as error:
         return ("error", type(error)), None
+
+
+def _operator_stats_rows(result):
+    """Per-operator ``(label, rows_in, rows_out, invocations)`` in plan order.
+
+    The batch forms of operators without a parameterized ``label()`` override
+    fall back to their class ``name`` ("batch-merge-union" vs "merge-union"),
+    so the mode prefix is stripped before comparing — the *numbers* must match
+    exactly between row and batch executions.
+    """
+    rows = []
+    for op in result.context.operator_stats:
+        label = op.label
+        if label.startswith("batch-"):
+            label = label[len("batch-"):]
+        rows.append((label, op.rows_in, op.rows_out, op.invocations))
+    return rows
 
 
 def assert_parity(expression, source, batch_size=7, expected_mode=None):
     """Physical execution — row mode AND the vectorized batch mode — agrees
     with the naive evaluator on the result (or on the raised error class), and
-    the row and batch runs count identical ExecutionStats totals.  With
+    the row and batch runs count identical ExecutionStats totals *and*
+    identical per-operator rows_in/rows_out/invocations.  With
     ``expected_mode`` the vectorized plan's ``mode`` is pinned down too."""
     naive, _ = _outcome(lambda: Evaluator(source).evaluate(expression))
-    stats_by_mode = {}
+    result_by_mode = {}
     for vectorize in (False, True):
         plan = PhysicalPlanner(source=source, vectorize=vectorize).plan(expression)
-        physical, stats = _outcome(lambda: plan.execute(source, batch_size=batch_size))
+        physical, result = _outcome(lambda: plan.execute(source, batch_size=batch_size))
         assert physical == naive, "physical[{}] {} != naive {}\nplan:\n{}".format(
             plan.mode, physical[0], naive[0], plan.explain()
         )
         if vectorize and expected_mode is not None:
             assert plan.mode == expected_mode, plan.explain()
-        stats_by_mode[vectorize] = stats
-    if stats_by_mode[False] is not None and stats_by_mode[True] is not None:
-        assert stats_by_mode[False].as_dict() == stats_by_mode[True].as_dict(), (
+        result_by_mode[vectorize] = result
+    row_result, batch_result = result_by_mode[False], result_by_mode[True]
+    if row_result is not None and batch_result is not None:
+        assert row_result.stats.as_dict() == batch_result.stats.as_dict(), (
             "row and batch executions disagree on the work counters"
+        )
+        assert _operator_stats_rows(row_result) == _operator_stats_rows(batch_result), (
+            "row and batch executions disagree on the per-operator counters"
         )
 
 
