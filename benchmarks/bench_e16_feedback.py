@@ -1,0 +1,116 @@
+"""E16 — cardinality feedback re-orders a join the stale statistics got wrong.
+
+The skewed star workload of :mod:`repro.workloads.star` with **deliberately
+stale** statistics on ``dim_rare``: after ANALYZE, one DML against the big
+dimension makes its distributions unusable, so the first planning pass falls
+back to default selectivities and prices ``fact ⋈ σ(dim_rare)`` — the only
+join that actually shrinks the fact side — as an explosion, dragging the full
+fact relation through every non-reductive dimension join first.
+
+The first execution pays for that order, but it also *observes* it: the
+engine folds the mis-estimated σ(dim_rare) cardinality and the executed join
+edge's true selectivity (``rows_out / (rows_left × rows_right)``, keyed by
+join attribute and carrier tables) into the
+:class:`~repro.obs.feedback.CardinalityFeedback` store.  The store's version
+is part of the plan-cache key, so the second execution re-plans — now pricing
+the selective join first from observed truth — and the third execution hits
+the plan cache again: one bad run, one corrected re-plan, then steady state.
+
+Gate (the ISSUE acceptance criterion): the feedback-corrected second run must
+examine **≥5× fewer join pairs** (``join_pairs_considered``) than the first,
+with identical result sets.  The ``speedup`` column records the pair ratio
+for ``check_regression.py``.
+"""
+
+import time
+
+import pytest
+
+from reporting import print_report
+from repro.workloads.star import star_join_database, star_join_query
+
+#: the ISSUE acceptance factor: the corrected run examines ≥ this many times
+#: fewer join pairs than the stale-statistics first run
+ACCEPTANCE_FACTOR = 5
+
+
+@pytest.fixture()
+def stale_star_database():
+    """The analyzed star database with ``dim_rare`` statistics gone stale.
+
+    Function-scoped on purpose: every test needs the pristine arc of
+    stale plan → observation → corrected re-plan, so no feedback may leak
+    between tests.
+    """
+    database = star_join_database()
+    database.analyze()
+    # One DML against the big dimension: its ANALYZE distributions (the NDV
+    # that prices the selective join) are no longer trusted, the planner is
+    # back on default constants for everything touching dim_rare.
+    database.table("dim_rare").insert({"dr": 1001, "kind": "common"})
+    return database
+
+
+def _run(database, query):
+    start = time.perf_counter()
+    result = database.execute(query, optimize=False)
+    return result, time.perf_counter() - start
+
+
+def test_report_feedback_corrects_stale_star(stale_star_database):
+    """The acceptance gate: the feedback-corrected run examines ≥5× fewer pairs."""
+    database = stale_star_database
+    query = star_join_query()
+    runs = []
+    for label in ("stale", "corrected", "steady"):
+        result, seconds = _run(database, query)
+        feedback = database.cardinality_feedback.as_dict()
+        runs.append({
+            "run": label,
+            "join_pairs": result.stats.join_pairs_considered,
+            "tuples": len(result),
+            "seconds": round(seconds, 4),
+            "feedback_entries": feedback["entries"],
+            "feedback_edges": feedback["edges"],
+            "speedup": "{:.2f}x".format(
+                runs[0]["join_pairs"] / result.stats.join_pairs_considered
+                if runs else 1.0),
+            "result": result,
+        })
+    rows = [{k: v for k, v in run.items() if k != "result"} for run in runs]
+    print_report(
+        "E16: stale-stats star join — cardinality feedback re-orders run 2",
+        rows, json_name="e16_feedback", database=database,
+    )
+
+    stale, corrected, steady = runs
+    assert stale["result"].tuples == corrected["result"].tuples
+    assert corrected["result"].tuples == steady["result"].tuples
+    # The ISSUE acceptance criterion: one observed execution is enough for the
+    # search to put the selective join first.
+    assert stale["join_pairs"] >= ACCEPTANCE_FACTOR * corrected["join_pairs"]
+    # The correction converges: the third run reuses the corrected plan (no
+    # further feedback, no further re-plan) and examines the same pairs.
+    assert steady["join_pairs"] == corrected["join_pairs"]
+    assert database.physical_executor.cache_hits >= 1
+
+
+def test_report_feedback_invalidated_by_dml(stale_star_database):
+    """DML on an observed table drops its feedback — no stale corrections."""
+    database = stale_star_database
+    query = star_join_query()
+    _run(database, query)
+    assert len(database.cardinality_feedback) > 0
+    database.table("dim_rare").insert({"dr": 1002, "kind": "common"})
+    feedback = database.cardinality_feedback.as_dict()
+    rows = [{"after": "dml on dim_rare", "entries": feedback["entries"],
+             "edges": feedback["edges"],
+             "invalidations": feedback["invalidations"]}]
+    print_report("E16: feedback lifecycle — DML invalidation", rows,
+                 json_name="e16_feedback_lifecycle", database=database,
+                 reset=True)
+    assert all(
+        "dim_rare" not in entry_tables
+        for _rows, entry_tables in database.cardinality_feedback._entries.values())
+    # reset=True re-baselined the database for whoever runs next in-session.
+    assert database.metrics()["metrics"] == {}

@@ -30,7 +30,10 @@ import sys
 #: the reports whose speedup ratios are gated, and the gated metric column.
 #: e15's ratio is uninstrumented/instrumented wall-clock (≈1.0x): a future PR
 #: that makes the observability layer expensive drags it below its baseline.
-TRACKED_REPORTS = ("e12_vectorized_exec", "e14_full_batch", "e15_observability")
+#: e16's ratio is stale-run/corrected-run join pairs (≥5x): a PR that breaks
+#: the cardinality-feedback loop collapses it toward 1.0x.
+TRACKED_REPORTS = ("e12_vectorized_exec", "e14_full_batch", "e15_observability",
+                   "e16_feedback")
 
 DEFAULT_TOLERANCE = 0.2
 

@@ -32,14 +32,18 @@ def emit_json(name, payload):
     return path
 
 
-def print_report(title, rows, json_name=None, database=None, operators=None):
+def print_report(title, rows, json_name=None, database=None, operators=None,
+                 reset=False):
     """Print a small aligned table (visible with ``pytest -s`` and in captured output).
 
     With ``json_name`` the same rows are also emitted as ``BENCH_<json_name>.json``.
     ``database`` (a :class:`repro.Database`) embeds its ``metrics()`` snapshot
     in the JSON payload; ``operators`` (a ``result.operator_report()`` list)
     embeds the per-operator timing breakdown — so the perf trajectory records
-    where the time went, not just the totals.
+    where the time went, not just the totals.  ``reset=True`` additionally
+    calls ``database.reset_metrics()`` after the snapshot is embedded, so a
+    benchmark reporting several phases against one database gets a clean
+    metric window per phase instead of cumulative totals.
     """
     print()
     print("== {} ==".format(title))
@@ -51,6 +55,8 @@ def print_report(title, rows, json_name=None, database=None, operators=None):
             payload["operators"] = operators
         path = emit_json(json_name, payload)
         print("  (json: {})".format(path))
+    if reset and database is not None:
+        database.reset_metrics()
     if not rows:
         return
     headers = list(rows[0].keys())

@@ -17,6 +17,13 @@ end to end:
    statistics' back, watch the Q-error blow up in EXPLAIN ANALYZE, and see the
    slow-query log capture the query together with its worst-estimated plan
    nodes (the diagnostic trail for "why was this slow").
+5. **Closing the loop (PR 7)** — the same stale-statistics situation, but this
+   time the engine fixes it: the first execution records the mis-estimated
+   cardinalities and the executed join edges' true selectivities into the
+   cardinality-feedback store, the second execution re-plans against them
+   (selective join first, ~16× fewer join pairs), the third hits the plan
+   cache; the watchdog logs the plan change, and the whole registry exports
+   as Prometheus text and a versioned JSON snapshot.
 
 Run with::
 
@@ -141,6 +148,49 @@ def stale_statistics_and_slow_log(database):
         database.explain_analyze(rare_join_query()).worst_q_error()))
 
 
+def feedback_closes_the_loop():
+    print()
+    print("== 5. Closing the loop: cardinality feedback " + "=" * 35)
+    print()
+    # A fresh database so the arc is pristine: ANALYZE, then one DML against
+    # the big dimension strands its distributions — the planner is back on
+    # default constants for everything touching dim_rare.
+    database = star_join_database()
+    database.analyze()
+    database.table("dim_rare").insert({"dr": 1001, "kind": "common"})
+
+    query = star_join_query()
+    for label in ("stale", "corrected", "steady"):
+        result = database.execute(query)
+        feedback = database.cardinality_feedback.as_dict()
+        print("   {:<9}  join_pairs={:>6}  rows={}  feedback: entries={} "
+              "edges={} version={}".format(
+                  label, result.stats.join_pairs_considered, len(result),
+                  feedback["entries"], feedback["edges"], feedback["version"]))
+    cache = database.physical_executor.cache_info()
+    print("   plan cache after the arc: {} hits / {} misses "
+          "(one bad run, one re-plan, steady state)".format(
+              cache["hits"], cache["misses"]))
+
+    changes = database.plan_watchdog.plan_changes()
+    print("   watchdog recorded {} plan change(s); the corrected plan joins:"
+          .format(len(changes)))
+    for operator in changes[0]["after"]["operators"]:
+        if "join" in operator:
+            print("     " + operator)
+
+    print("   Prometheus export (excerpt of {} lines):".format(
+        len(database.prometheus_metrics().splitlines())))
+    for line in database.prometheus_metrics().splitlines():
+        if line.startswith(("repro_queries", "repro_rows_joined",
+                            "repro_memory_batch_hash_join ")):
+            print("     " + line)
+    snapshot = database.metrics_snapshot()
+    print("   metrics_snapshot(): format={!r} version={} feedback entries={}"
+          .format(snapshot["format"], snapshot["version"],
+                  snapshot["feedback"]["entries"]))
+
+
 def main():
     database = star_join_database()
     database.analyze()  # fresh statistics: the estimates below are exact
@@ -148,6 +198,7 @@ def main():
     trace_a_query(database)
     metrics_snapshot(database)
     stale_statistics_and_slow_log(database)
+    feedback_closes_the_loop()
 
 
 if __name__ == "__main__":

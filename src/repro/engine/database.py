@@ -30,15 +30,25 @@ from repro.obs.explain import (
     ExplainAnalyzeReport,
     node_q_errors,
     pair_nodes_with_stats,
+    plan_nodes,
     render_explain_analyze,
+)
+from repro.obs.export import json_snapshot, prometheus_text
+from repro.obs.feedback import (
+    QERROR_THRESHOLD,
+    CardinalityFeedback,
+    attribute_carriers,
+    expression_key,
 )
 from repro.obs.metrics import (
     BATCH_SIZE_BUCKETS,
     LATENCY_BUCKETS,
+    MEMORY_BUCKETS,
     MetricsRegistry,
     SlowQueryLog,
     q_error,
 )
+from repro.obs.profiler import PlanWatchdog, WorkloadProfile
 from repro.obs.trace import Tracer
 from repro.optimizer.joinorder import SEARCH_MODES
 from repro.optimizer.planner import Planner
@@ -228,9 +238,14 @@ class Database:
 
     Every database carries the observability layer of :mod:`repro.obs`: a
     :class:`~repro.obs.trace.Tracer` (inert until a sink is attached), a
-    :class:`~repro.obs.metrics.MetricsRegistry` behind :meth:`metrics`, and a
+    :class:`~repro.obs.metrics.MetricsRegistry` behind :meth:`metrics`, a
     :class:`~repro.obs.metrics.SlowQueryLog` whose threshold (in seconds) is
-    set by ``slow_query_threshold``.
+    set by ``slow_query_threshold``, a
+    :class:`~repro.obs.feedback.CardinalityFeedback` store feeding observed
+    cardinalities back into the cost model, and a
+    :class:`~repro.obs.profiler.PlanWatchdog` flagging plan changes and
+    latency regressions (capture a window with :meth:`profile`; export via
+    :meth:`prometheus_metrics` / :meth:`metrics_snapshot`).
     """
 
     def __init__(self, enforce_constraints: bool = True,
@@ -259,6 +274,14 @@ class Database:
         self.metrics_registry = MetricsRegistry()
         #: queries slower than the threshold, with their worst Q-error nodes
         self.slow_query_log = SlowQueryLog(threshold=slow_query_threshold)
+        #: observed per-subexpression cardinalities — the cost model consults
+        #: this before histogram/NDV math, so repeated queries plan with
+        #: observed truth; DML- and ANALYZE-invalidated, never persisted
+        self.cardinality_feedback = CardinalityFeedback()
+        #: plan-change and latency-regression detection per query fingerprint
+        self.plan_watchdog = PlanWatchdog()
+        #: the active :meth:`profile` window, if any
+        self._active_profile: Optional[WorkloadProfile] = None
 
     @property
     def catalog_version(self) -> int:
@@ -269,6 +292,12 @@ class Database:
     def statistics_version(self) -> int:
         """The statistics catalog's version (second plan-cache invalidation hook)."""
         return self.statistics.version
+
+    @property
+    def feedback_version(self) -> int:
+        """The cardinality-feedback store's version (third plan-cache
+        invalidation hook: new observations must trigger a re-plan)."""
+        return self.cardinality_feedback.version
 
     @property
     def physical_executor(self) -> PhysicalExecutor:
@@ -449,7 +478,8 @@ class Database:
 
     def _observe_query(self, expression: Expression, plan: PhysicalPlan,
                        result, elapsed: float) -> None:
-        """Fold one executed query into the registry and the slow-query log."""
+        """Fold one executed query into the registry, the slow-query log, the
+        cardinality-feedback store and the plan-regression watchdog."""
         registry = self.metrics_registry
         registry.counter("queries.executed").add()
         stats = result.stats
@@ -459,13 +489,49 @@ class Database:
         registry.histogram("query.seconds", LATENCY_BUCKETS).observe(elapsed)
         registry.histogram("plan.batch_size", BATCH_SIZE_BUCKETS).observe(
             result.context.batch_size)
-        # Worst observed Q-error per plan-node *kind* — the estimate-quality
-        # signal adaptive re-optimization (ROADMAP item 4) will consume.
-        for node, op_stats in pair_nodes_with_stats(plan, result.context):
+        # One pass over the paired plan nodes: Q-error gauges (the estimate-
+        # quality signal), memory max-gauges, per-query peak memory, and the
+        # feedback fold-in — observed rows_out per (subexpression fingerprint,
+        # statistics version), which corrects future estimates of the same
+        # subexpression (ROADMAP item 4's adaptive re-optimization bridge).
+        # Only *mis*-estimates (Q-error ≥ the threshold) are folded in: an
+        # accurate plan leaves no feedback behind, so its cache entry stays
+        # hot instead of being re-planned after every execution.
+        feedback = self.cardinality_feedback
+        statistics_version = self.statistics.version
+        peak_bytes = 0
+        paired = pair_nodes_with_stats(plan, result.context)
+        stats_of = {id(node): op_stats for node, op_stats in paired}
+        for node, op_stats in paired:
             if op_stats is None:
                 continue
-            registry.max_gauge("qerror." + node.name).observe(
-                q_error(node.estimated_rows, op_stats.rows_out))
+            node_q = q_error(node.estimated_rows, op_stats.rows_out)
+            registry.max_gauge("qerror." + node.name).observe(node_q)
+            if op_stats.peak_bytes:
+                registry.max_gauge("memory." + node.name).observe(
+                    op_stats.peak_bytes)
+                peak_bytes = max(peak_bytes, op_stats.peak_bytes)
+            if (node.fingerprint is not None and node_q is not None
+                    and node_q >= QERROR_THRESHOLD
+                    # bare scans are never estimated from feedback (the cost
+                    # model prices them from live table sizes), so recording
+                    # them would churn the version without improving a plan
+                    and node.fingerprint[0] not in ("relation", "empty")):
+                feedback.record(node.fingerprint, statistics_version,
+                                node.feedback_tables or (), op_stats.rows_out)
+                self._record_join_edges(node, op_stats, stats_of,
+                                        statistics_version)
+        registry.histogram("query.peak_bytes", MEMORY_BUCKETS).observe(
+            peak_bytes)
+        self._watch_plan(expression, plan, result, elapsed)
+        if self._active_profile is not None:
+            self._active_profile.observe({
+                "expression": repr(expression),
+                "mode": plan.mode,
+                "seconds": elapsed,
+                "rows": len(result.tuples),
+                "peak_bytes": peak_bytes,
+            })
         if elapsed >= self.slow_query_log.threshold:
             self.slow_query_log.observe(
                 repr(expression), plan.mode, elapsed, len(result.tuples),
@@ -473,10 +539,90 @@ class Database:
             self.tracer.event("slow-query", seconds=elapsed,
                               threshold=self.slow_query_log.threshold)
 
+    def _record_join_edges(self, node, op_stats, stats_of,
+                           statistics_version) -> None:
+        """Derive an observed edge selectivity from a mis-estimated join node.
+
+        ``rows_out / (rows_left × rows_right)`` of an executed single-attribute
+        equi-join is the true selectivity of that join *edge*; keyed by the
+        attribute and its carrier tables it corrects every candidate join over
+        the same edge — including orders the search prices but never executed,
+        which a per-subexpression cardinality correction cannot reach.
+        Multi-attribute joins are skipped: the combined fraction cannot be
+        attributed to individual attributes without guessing.
+        """
+        on = getattr(node, "on", None)
+        if on is None or len(on) != 1:
+            return
+        children = node.children
+        if len(children) == 2:
+            sides = [stats_of.get(id(child)) for child in children]
+            if any(side is None for side in sides):
+                return
+            rows = [side.rows_out for side in sides]
+            tables = frozenset((children[0].feedback_tables or frozenset())
+                               | (children[1].feedback_tables or frozenset()))
+        elif len(children) == 1 and getattr(node, "relation", None) is not None:
+            # Index-lookup join: the inner side is a base relation probed in
+            # place; its current size stands in for the scanned cardinality.
+            outer = stats_of.get(id(children[0]))
+            if outer is None:
+                return
+            try:
+                inner_rows = len(self.table(node.relation))
+            except Exception:
+                return
+            rows = [outer.rows_out, inner_rows]
+            tables = frozenset((children[0].feedback_tables or frozenset())
+                               | {node.relation})
+        else:
+            return
+        if rows[0] <= 0 or rows[1] <= 0:
+            return
+        attribute = next(iter(on)).name
+        carriers = attribute_carriers(self, tables, attribute)
+        if not carriers:
+            return
+        selectivity = op_stats.rows_out / float(rows[0] * rows[1])
+        self.cardinality_feedback.record_edge(
+            attribute, carriers, statistics_version, selectivity)
+
+    def _watch_plan(self, expression: Expression, plan: PhysicalPlan,
+                    result, elapsed: float) -> None:
+        """Hand one execution to the watchdog; surface what it detected."""
+        labels = tuple(node.label() for node in plan_nodes(plan))
+        summary = {
+            "operators": list(labels),
+            "mode": plan.mode,
+            "est_cost": plan.root.estimated_cost,
+        }
+        plan_change, regression = self.plan_watchdog.observe(
+            expression_key(expression), labels, summary, elapsed)
+        if plan_change is not None:
+            self.tracer.event("plan-change",
+                              before=plan_change["before"],
+                              after=plan_change["after"],
+                              baseline_seconds=plan_change["baseline_seconds"])
+        if regression is not None:
+            self.tracer.event("plan-regression",
+                              seconds=regression["seconds"],
+                              baseline_seconds=regression["baseline_seconds"],
+                              factor=regression["factor"],
+                              suspect_plan_change=regression["suspect_plan_change"])
+            suspect = regression["suspect_plan_change"]
+            note = "plan-regression: {:.1f}x vs baseline {:.4f}s".format(
+                regression["factor"], regression["baseline_seconds"])
+            if suspect is not None:
+                note += "; suspect plan change {} -> {}".format(
+                    suspect["before"]["operators"], suspect["after"]["operators"])
+            self.slow_query_log.record(
+                repr(expression), plan.mode, elapsed, len(result.tuples),
+                node_q_errors(plan, result.context), note=note)
+
     def metrics(self) -> Dict[str, object]:
         """A JSON-friendly snapshot of everything the engine measured so far:
-        the metric instruments, the plan cache (with hit rate), and the
-        slow-query log."""
+        the metric instruments, the plan cache (with hit rate), the slow-query
+        log, the cardinality-feedback store and the plan watchdog."""
         cache = self.physical_executor.cache_info()
         lookups = cache["hits"] + cache["misses"]
         return {
@@ -484,7 +630,50 @@ class Database:
             "plan_cache": dict(cache, hit_rate=(cache["hits"] / lookups
                                                 if lookups else None)),
             "slow_queries": self.slow_query_log.as_dict(),
+            "feedback": self.cardinality_feedback.as_dict(),
+            "watchdog": self.plan_watchdog.as_dict(),
         }
+
+    def reset_metrics(self) -> None:
+        """Re-baseline the observability layer without rebuilding the database.
+
+        Clears the metric registry, the slow-query log (its threshold stays),
+        the cardinality-feedback store and the watchdog's latency baselines —
+        what benchmarks and long-lived sessions need between measurement
+        windows.  Clearing the feedback store bumps its version, so previously
+        cached feedback-informed plans are re-planned from statistics alone.
+        """
+        self.metrics_registry.reset()
+        self.slow_query_log.clear()
+        self.cardinality_feedback.clear()
+        self.plan_watchdog.clear()
+
+    def profile(self) -> WorkloadProfile:
+        """A workload capture window::
+
+            with database.profile() as prof:
+                run_workload(database)
+            report = prof.report   # queries, plans, feedback deltas, regressions
+
+        The report dict carries every query executed inside the window (mode,
+        latency, rows, peak operator memory), the feedback-store delta, the
+        plan changes and regressions the watchdog flagged, and a full
+        :meth:`metrics` snapshot — the shape the benchmark reporting layer
+        embeds.
+        """
+        return WorkloadProfile(self)
+
+    def prometheus_metrics(self, prefix: str = "repro") -> str:
+        """The metric registry in the Prometheus text exposition format."""
+        return prometheus_text(self.metrics_registry, prefix=prefix)
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """A versioned JSON snapshot envelope: the registry plus the engine
+        sections of :meth:`metrics` (plan cache, slow queries, feedback,
+        watchdog) under a ``format``/``version`` header."""
+        engine = self.metrics()
+        del engine["metrics"]
+        return json_snapshot(self.metrics_registry, extra=engine)
 
     def plan(self, expression: Expression, optimize: bool = True,
              mode: Optional[str] = None,

@@ -14,6 +14,7 @@ reporting and the benchmarks consume.
 
 from __future__ import annotations
 
+import sys
 from typing import Dict, List, Optional
 
 from repro.algebra.evaluator import ExecutionStats
@@ -33,6 +34,57 @@ TARGET_BATCH_CELLS = 8192
 #: bounds of the adaptive batch-size decision
 MIN_BATCH_SIZE = 64
 MAX_BATCH_SIZE = 4096
+
+
+#: how many elements of a materialized container the size estimate inspects
+MEMORY_SAMPLE = 8
+
+
+def _element_size(value) -> int:
+    """One element's approximate byte size, descending a single level into
+    containers (a hash bucket's tuple list, a tuple's value dict)."""
+    size = sys.getsizeof(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        if value:
+            size += sys.getsizeof(next(iter(value))) * len(value)
+    elif isinstance(value, dict):
+        if value:
+            key, val = next(iter(value.items()))
+            size += (sys.getsizeof(key) + sys.getsizeof(val)) * len(value)
+    return size
+
+
+def sampled_size(container, sample: int = MEMORY_SAMPLE) -> int:
+    """Approximate byte size of an operator's materialized state.
+
+    ``sys.getsizeof`` on the container plus the sizes of the first ``sample``
+    elements scaled to the element count — a handful of calls at a build
+    boundary, never per tuple, so memory accounting stays inside the E15
+    overhead gate.  The answer is an estimate (shared substructure is counted
+    per reference, element variance beyond the sample is extrapolated); its
+    job is ranking operators by footprint, not exact accounting.
+    """
+    size = sys.getsizeof(container)
+    try:
+        length = len(container)
+    except TypeError:
+        return size
+    if not length:
+        return size
+    if isinstance(container, dict):
+        iterator = iter(container.items())
+        total = 0
+        count = min(sample, length)
+        for _ in range(count):
+            key, value = next(iterator)
+            total += sys.getsizeof(key) + _element_size(value)
+        return size + (total * length) // count
+    iterator = iter(container)
+    total = 0
+    count = min(sample, length)
+    for _ in range(count):
+        total += _element_size(next(iterator))
+    return size + (total * length) // count
 
 
 def adaptive_batch_size(width: float, base_rows: Optional[float] = None) -> int:
@@ -71,6 +123,15 @@ class OperatorStats:
         self.batches_out = 0
         self.invocations = 0
         self.wall_seconds = 0.0
+        #: sampled peak bytes held by the operator's materialized state (hash
+        #: builds, multiway drains, batch materializations); 0 for streaming
+        #: operators that never hold more than one batch
+        self.peak_bytes = 0
+
+    def note_memory(self, size_bytes: int) -> None:
+        """Fold one sampled state-size measurement into the peak."""
+        if size_bytes > self.peak_bytes:
+            self.peak_bytes = size_bytes
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -80,6 +141,7 @@ class OperatorStats:
             "batches_out": self.batches_out,
             "invocations": self.invocations,
             "wall_seconds": self.wall_seconds,
+            "peak_bytes": self.peak_bytes,
         }
 
     def __repr__(self) -> str:

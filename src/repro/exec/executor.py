@@ -3,11 +3,13 @@
 :class:`PhysicalExecutor` is the session-level entry point the engine uses.  It
 owns a :class:`PhysicalPlanner` and an LRU :class:`PlanCache` keyed on
 ``(expression structure, execution mode, effective batch-size request,
-join-search mode, batch-forms setting, catalog version, statistics version)``:
-hot queries are lowered once and the cached plan is reused until the schema or
-the statistics change (or the join-order search strategy is switched — plans
-chosen by different searches must not shadow each other; likewise a plan built
-and batch-sized for one requested size is never reused for another).  Plans resolve relations and indexes at *execution* time,
+join-search mode, batch-forms setting, catalog version, statistics version,
+feedback version)``:
+hot queries are lowered once and the cached plan is reused until the schema,
+the statistics or the cardinality-feedback store change (or the join-order
+search strategy is switched — plans chosen by different searches must not
+shadow each other; likewise a plan built and batch-sized for one requested
+size is never reused for another).  Plans resolve relations and indexes at *execution* time,
 so cached plans stay correct across DML — data changes can at worst make a
 cached join-algorithm choice suboptimal, never wrong.  The cache's hit/miss
 counters are exposed as :attr:`PhysicalExecutor.cache_hits` /
@@ -78,6 +80,13 @@ def _statistics_version(source) -> object:
     return getattr(source, "statistics_version", None)
 
 
+def _feedback_version(source) -> object:
+    """The source's cardinality-feedback version (a new or changed observation
+    can flip the plan the cost model would choose, so it must re-plan; an
+    unchanged store keeps the cache hot)."""
+    return getattr(source, "feedback_version", None)
+
+
 class PhysicalExecutor:
     """Executes logical expressions through cached physical plans.
 
@@ -140,7 +149,8 @@ class PhysicalExecutor:
         key = (expression_key(expression), effective, requested,
                getattr(self.planner, "join_order_search", None),
                getattr(self.planner, "batch_forms", "all"),
-               _catalog_version(self.source), _statistics_version(self.source))
+               _catalog_version(self.source), _statistics_version(self.source),
+               _feedback_version(self.source))
         tracer = tracer_of(self.source)
         plan = self.cache.get(key)
         if plan is None:

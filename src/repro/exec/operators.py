@@ -41,7 +41,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 from repro.algebra.evaluator import _resolve_relation
 from repro.algebra.predicates import Predicate
 from repro.errors import AlgebraError
-from repro.exec.context import ExecutionContext, OperatorStats
+from repro.exec.context import ExecutionContext, OperatorStats, sampled_size
 from repro.model.attributes import AttributeSet, attrset
 from repro.model.tuples import FlexTuple
 
@@ -60,6 +60,13 @@ class PhysicalOperator:
     #: cost-model annotations, set by the physical planner (None on hand-built plans)
     estimated_rows: Optional[float] = None
     estimated_cost: Optional[float] = None
+
+    #: cardinality-feedback identity, set by the physical planner (None on
+    #: hand-built plans): the structural key of the logical subexpression this
+    #: operator was lowered from, and the base tables that subexpression reads
+    #: (so feedback entries can be invalidated on DML)
+    fingerprint: Optional[tuple] = None
+    feedback_tables: Optional[frozenset] = None
 
     @property
     def children(self) -> Tuple["PhysicalOperator", ...]:
@@ -148,11 +155,18 @@ class PhysicalOperator:
 
     @staticmethod
     def _materialize(op: OperatorStats, stream: Iterator[Batch]) -> Set[FlexTuple]:
-        """Drain a child's batch stream into a set."""
+        """Drain a child's batch stream into a set.
+
+        A materialization is a build boundary: the drained set is the
+        operator's held state, so its sampled size feeds the ``peak_bytes``
+        memory accounting (one :func:`sampled_size` call per drain, never
+        per tuple).
+        """
         result: Set[FlexTuple] = set()
         for batch in stream:
             op.rows_in += len(batch)
             result.update(batch)
+        op.note_memory(sampled_size(result))
         return result
 
 
@@ -553,6 +567,7 @@ class HashJoin(PhysicalOperator):
             ctx.stats.guard_checks += 1
             if tup.is_defined_on(shared):
                 buckets.setdefault(tuple(tup[a] for a in shared), []).append(tup)
+        op.note_memory(sampled_size(buckets))
 
         def emit():
             seen: Set[FlexTuple] = set()
@@ -638,6 +653,7 @@ class IndexLookupJoin(PhysicalOperator):
                 ctx.stats.guard_checks += 1
                 if tup.is_defined_on(self.on):
                     buckets.setdefault(tuple(tup[a] for a in self.on), []).append(tup)
+            op.note_memory(sampled_size(buckets))
             lookup = lambda probe: buckets.get(probe, ())  # noqa: E731
 
         remaining = self.on - probe_attributes
@@ -769,6 +785,7 @@ class MultiwayJoinOp(PhysicalOperator):
             for tup in fragment:
                 if tup.is_defined_on(self.on):
                     buckets.setdefault(tuple(tup[a] for a in self.on), []).append(tup)
+            op.note_memory(sampled_size(buckets))
             merged: Set[FlexTuple] = set()
             for tup in current:
                 if not tup.is_defined_on(self.on):
@@ -782,4 +799,5 @@ class MultiwayJoinOp(PhysicalOperator):
                 for partner in partners:
                     merged.add(tup.merge(partner))
             current = merged
+            op.note_memory(sampled_size(current))
         return self._rebatch(ctx, op, iter(current))

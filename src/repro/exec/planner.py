@@ -120,6 +120,7 @@ from repro.exec.vectorized import (
     BatchRename,
     BatchScan,
 )
+from repro.obs.feedback import expression_key, referenced_tables
 from repro.obs.trace import NOOP_SPAN, tracer_of
 from repro.optimizer.cost import CostEstimate, CostModel
 from repro.optimizer.joinorder import (
@@ -379,6 +380,11 @@ class PhysicalPlanner:
         estimate = self._estimate(expression)
         operator.estimated_rows = estimate.cardinality
         operator.estimated_cost = estimate.work
+        # The feedback identity: what this operator computes (structurally)
+        # and which base tables that computation reads.  ``_observe_query``
+        # folds the operator's actual rows_out under this key.
+        operator.fingerprint = expression_key(expression)
+        operator.feedback_tables = referenced_tables(expression)
         return operator
 
     def _lower_node(self, expression: Expression) -> PhysicalOperator:
@@ -547,37 +553,6 @@ class PhysicalPlanner:
         return IndexLookupJoin(self._lower(outer_expr), inner_name, expression.on)
 
 
-def expression_key(expression: Expression) -> Tuple:
-    """A hashable structural key identifying an expression tree.
-
-    Two expressions with the same key produce the same physical plan, so the key
-    (together with the catalog version) is safe to use as a plan-cache key.
-    Predicates contribute their ``repr``, which is deterministic for the whole
-    predicate language.
-    """
-    if isinstance(expression, RelationRef):
-        return ("relation", expression.name)
-    if isinstance(expression, EmptyRelation):
-        return ("empty",)
-    if isinstance(expression, Selection):
-        return ("select", repr(expression.predicate), expression_key(expression.child))
-    if isinstance(expression, TypeGuardNode):
-        return ("guard", str(expression.attributes), expression_key(expression.child))
-    if isinstance(expression, Projection):
-        return ("project", str(expression.attributes), expression_key(expression.child))
-    if isinstance(expression, Extension):
-        return ("extend", expression.attribute, repr(expression.value),
-                expression_key(expression.child))
-    if isinstance(expression, Rename):
-        return ("rename", tuple(sorted(expression.mapping.items())),
-                expression_key(expression.child))
-    if isinstance(expression, NaturalJoin):
-        return ("join", str(expression.on) if expression.on is not None else None,
-                expression_key(expression.left), expression_key(expression.right))
-    if isinstance(expression, MultiwayJoin):
-        return ("multiway-join", str(expression.on),
-                tuple(expression_key(child) for child in expression.inputs))
-    # Product / Union / OuterUnion / Difference carry no payload beyond their
-    # operator name and children; unknown nodes degrade to the same shape.
-    return ((expression.operator,)
-            + tuple(expression_key(child) for child in expression.children))
+# ``expression_key`` moved to :mod:`repro.obs.feedback` (the cost model needs
+# it too, and importing the planner from the optimizer would cycle); it is
+# re-imported above and re-exported here for compatibility.

@@ -54,6 +54,7 @@ from typing import Dict, Iterator, List
 
 from repro.algebra.evaluator import _resolve_relation
 from repro.errors import AlgebraError
+from repro.exec.context import sampled_size
 from repro.exec.compiled import (
     CompiledExtension,
     CompiledGuard,
@@ -404,6 +405,7 @@ class BatchProduct(ProductOp):
     def _generate(self, ctx, op, left, right) -> Iterator[TupleBatch]:
         op.invocations += 1
         build = [tup._values for tup in self._materialize(op, right)]
+        op.note_memory(sampled_size(build))
 
         def emit() -> Iterator[TupleBatch]:
             stats = ctx.stats
@@ -467,6 +469,7 @@ def _build_buckets(op, ctx, stream, names) -> Dict:
             for i, key in enumerate(zip(*columns)):
                 if all(value is not MISSING for value in key):
                     setdefault(key, []).append(values_list[i])
+    op.note_memory(sampled_size(buckets))
     return buckets
 
 
@@ -577,6 +580,7 @@ class BatchIndexLookupJoin(IndexLookupJoin):
             for tup in inner_rows:
                 if tup.is_defined_on(self.on):
                     buckets.setdefault(tuple(tup[a] for a in self.on), []).append(tup)
+            op.note_memory(sampled_size(buckets))
             lookup = lambda probe: buckets.get(probe, ())  # noqa: E731
 
         probe_names = [a.name for a in probe_attributes]
@@ -667,6 +671,7 @@ class BatchMultiwayJoin(MultiwayJoinOp):
             return all_values, all_hashes
 
         current_values, current_hashes = drain(master)
+        op.note_memory(sampled_size(current_values))
         for stream in fragments:
             fragment_values, _fragment_hashes = drain(stream)
             buckets: Dict = {}
@@ -709,7 +714,9 @@ class BatchMultiwayJoin(MultiwayJoinOp):
                         add_seen(dedup)
                         append_values(combined)
                         append_hashes(hash(dedup))
+            op.note_memory(sampled_size(buckets))
             current_values, current_hashes = out_values, out_hashes
+            op.note_memory(sampled_size(current_values))
 
         def emit() -> Iterator[TupleBatch]:
             size = ctx.batch_size

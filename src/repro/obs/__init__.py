@@ -12,9 +12,16 @@ at ≤5% overhead on vectorized plans):
 * :mod:`repro.obs.explain` — ``Database.explain_analyze()``: the executed
   plan annotated per node with actual rows, Q-error, wall time and batches.
 
-This is the measurement substrate for ROADMAP item 4 (adaptive
-re-optimization): every estimate the planner makes is now compared against
-what execution observed.
+PR 7 adds the *actionable* layer on top of that substrate:
+
+* :mod:`repro.obs.feedback` — the :class:`CardinalityFeedback` store that
+  feeds observed cardinalities back into the cost model (ROADMAP item 4's
+  adaptive re-optimization bridge);
+* :mod:`repro.obs.profiler` — the :class:`PlanWatchdog` (plan-change and
+  latency-regression detection) and :class:`WorkloadProfile` windows behind
+  ``Database.profile()``;
+* :mod:`repro.obs.export` — Prometheus text exposition and versioned JSON
+  snapshots of the registry.
 """
 
 from repro.obs.explain import (
@@ -23,6 +30,15 @@ from repro.obs.explain import (
     pair_nodes_with_stats,
     plan_nodes,
     render_explain_analyze,
+)
+from repro.obs.export import (
+    json_snapshot,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.obs.feedback import (
+    CardinalityFeedback,
+    referenced_tables,
 )
 from repro.obs.metrics import (
     BATCH_SIZE_BUCKETS,
@@ -36,6 +52,11 @@ from repro.obs.metrics import (
     SlowQueryLog,
     q_error,
 )
+from repro.obs.profiler import (
+    PlanWatchdog,
+    QueryBaseline,
+    WorkloadProfile,
+)
 from repro.obs.trace import (
     NOOP_SPAN,
     JsonTraceSink,
@@ -48,6 +69,7 @@ from repro.obs.trace import (
 __all__ = [
     "BATCH_SIZE_BUCKETS",
     "LATENCY_BUCKETS",
+    "CardinalityFeedback",
     "Counter",
     "ExplainAnalyzeReport",
     "Gauge",
@@ -56,15 +78,22 @@ __all__ = [
     "MaxGauge",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "PlanWatchdog",
+    "QueryBaseline",
     "SlowQueryEntry",
     "SlowQueryLog",
     "Span",
     "TraceSink",
     "Tracer",
+    "WorkloadProfile",
+    "json_snapshot",
     "node_q_errors",
     "pair_nodes_with_stats",
+    "parse_prometheus_text",
     "plan_nodes",
+    "prometheus_text",
     "q_error",
+    "referenced_tables",
     "render_explain_analyze",
     "tracer_of",
 ]

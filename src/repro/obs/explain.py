@@ -9,8 +9,11 @@ renders the physical plan tree with, per node:
   (see :func:`repro.obs.metrics.q_error` for the edge cases),
 * wall-clock time spent in the operator (inclusive of its children, as in
   PostgreSQL's EXPLAIN ANALYZE — ticked per batch, see
-  :mod:`repro.exec.operators`), and
-* the number of batches it emitted.
+  :mod:`repro.exec.operators`),
+* the number of batches it emitted, and
+* ``mem=`` — the sampled peak bytes of materialized state (hash builds,
+  multiway drains, difference/product materializations); omitted for
+  streaming operators that never hold more than one batch.
 
 The pairing of plan nodes with run-time counters relies on a structural
 invariant of the execution layer: ``PhysicalOperator.run`` registers its
@@ -83,6 +86,18 @@ def _format_ms(seconds: float) -> str:
     return "{:.3f}ms".format(seconds * 1000.0)
 
 
+def _format_bytes(size: int) -> str:
+    """Human-scaled byte count (1 decimal from KiB up): 512B, 3.4KiB, 1.2MiB."""
+    value = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            if unit == "B":
+                return "{:.0f}B".format(value)
+            return "{:.1f}{}".format(value, unit)
+        value /= 1024.0
+    return "{:.1f}GiB".format(value)  # pragma: no cover — loop always returns
+
+
 def render_explain_analyze(plan, result, header: str = "") -> str:
     """The annotated plan tree as a multi-line string.
 
@@ -106,12 +121,15 @@ def render_explain_analyze(plan, result, header: str = "") -> str:
         if op_stats is not None:
             est = ("{:.1f}".format(node.estimated_rows)
                    if node.estimated_rows is not None else "-")
-            line += ("  (actual_rows={} est_rows={} q={} time={} batches={})"
+            line += ("  (actual_rows={} est_rows={} q={} time={} batches={}"
                      .format(op_stats.rows_out, est,
                              _format_q(q_error(node.estimated_rows,
                                                op_stats.rows_out)),
                              _format_ms(op_stats.wall_seconds),
                              op_stats.batches_out))
+            if op_stats.peak_bytes:
+                line += " mem={}".format(_format_bytes(op_stats.peak_bytes))
+            line += ")"
         lines.append(line)
         for child in node.children:
             render(child, indent + 1)

@@ -103,6 +103,11 @@ LATENCY_BUCKETS = (0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0,
 #: histogram bucket upper bounds for chosen batch sizes, in tuples
 BATCH_SIZE_BUCKETS = (16, 64, 256, 1024, 4096, 16384, 65536)
 
+#: histogram bucket upper bounds for per-query peak operator memory, in bytes
+#: (1KiB … 256MiB in factor-4 steps; above that the overflow bucket catches it)
+MEMORY_BUCKETS = (1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20,
+                  1 << 22, 1 << 24, 1 << 26, 1 << 28)
+
 
 class Histogram:
     """Fixed-bound bucketed distribution with count/sum/min/max.
@@ -139,6 +144,11 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
+    @property
+    def sum(self) -> float:
+        """The running sum of observations — the Prometheus ``_sum`` series."""
+        return self.total
+
     def quantile(self, q: float) -> Optional[float]:
         """Approximate quantile: the upper bound of the bucket holding rank q.
 
@@ -160,7 +170,7 @@ class Histogram:
     def as_dict(self):
         return {
             "count": self.count,
-            "sum": self.total,
+            "sum": self.sum,
             "min": self.minimum,
             "max": self.maximum,
             "mean": self.mean,
@@ -185,14 +195,22 @@ class MetricsRegistry:
     def __init__(self):
         self._instruments: Dict[str, object] = {}
 
-    def _get(self, name: str, factory):
+    def _get(self, name: str, cls, factory=None):
+        """The instrument registered under ``name``, created on first use.
+
+        ``cls`` is the expected instrument class; a request that reaches an
+        existing instrument of a different class is a programming error and
+        raises ``TypeError`` naming both kinds (silently returning the wrong
+        instrument would corrupt whichever series asked second).
+        """
         instrument = self._instruments.get(name)
         if instrument is None:
-            instrument = factory()
+            instrument = (factory or cls)()
             self._instruments[name] = instrument
-        elif not isinstance(instrument, type(factory())):
-            raise TypeError("metric {!r} already registered as {}".format(
-                name, type(instrument).__name__))
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                "metric {!r} is already registered as {}, cannot reopen it "
+                "as {}".format(name, type(instrument).__name__, cls.__name__))
         return instrument
 
     def counter(self, name: str) -> Counter:
@@ -206,14 +224,7 @@ class MetricsRegistry:
 
     def histogram(self, name: str,
                   bounds: Sequence[float] = LATENCY_BUCKETS) -> Histogram:
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = Histogram(bounds)
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, Histogram):
-            raise TypeError("metric {!r} already registered as {}".format(
-                name, type(instrument).__name__))
-        return instrument
+        return self._get(name, Histogram, lambda: Histogram(bounds))
 
     def names(self) -> List[str]:
         return sorted(self._instruments)
@@ -233,19 +244,23 @@ class MetricsRegistry:
 class SlowQueryEntry:
     """One slow-query-log record (see :class:`SlowQueryLog`)."""
 
-    __slots__ = ("expression", "mode", "seconds", "rows", "q_error_nodes")
+    __slots__ = ("expression", "mode", "seconds", "rows", "q_error_nodes",
+                 "note")
 
     def __init__(self, expression: str, mode: str, seconds: float, rows: int,
-                 q_error_nodes: List[Tuple[str, Optional[float]]]):
+                 q_error_nodes: List[Tuple[str, Optional[float]]],
+                 note: Optional[str] = None):
         self.expression = expression
         self.mode = mode
         self.seconds = seconds
         self.rows = rows
         #: top (worst-first) ``(operator label, q_error)`` pairs of the plan
         self.q_error_nodes = q_error_nodes
+        #: why the entry exists beyond raw latency (e.g. a plan regression)
+        self.note = note
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload = {
             "expression": self.expression,
             "mode": self.mode,
             "seconds": self.seconds,
@@ -255,6 +270,9 @@ class SlowQueryEntry:
                 for label, value in self.q_error_nodes
             ],
         }
+        if self.note is not None:
+            payload["note"] = self.note
+        return payload
 
     def __repr__(self) -> str:
         return "SlowQueryEntry({:.4f}s, mode={}, {})".format(
@@ -283,10 +301,18 @@ class SlowQueryLog:
         """Record the query if it crossed the threshold; returns the entry."""
         if seconds < self.threshold:
             return None
+        return self.record(expression, mode, seconds, rows, q_error_nodes)
+
+    def record(self, expression: str, mode: str, seconds: float, rows: int,
+               q_error_nodes: Sequence[Tuple[str, Optional[float]]] = (),
+               note: Optional[str] = None) -> SlowQueryEntry:
+        """Record unconditionally — used by the plan-regression watchdog,
+        whose entries matter regardless of the latency threshold."""
         ranked = sorted(
             (pair for pair in q_error_nodes if pair[1] is not None),
             key=lambda pair: pair[1], reverse=True)[:3]
-        entry = SlowQueryEntry(expression, mode, seconds, rows, list(ranked))
+        entry = SlowQueryEntry(expression, mode, seconds, rows, list(ranked),
+                               note=note)
         self._entries.append(entry)
         self.total += 1
         return entry

@@ -75,6 +75,11 @@ from repro.algebra.expressions import (
 from repro.algebra.predicates import And, FalsePredicate, PresencePredicate
 from repro.errors import OptimizerError, ReproError
 from repro.model.attributes import attrset
+from repro.obs.feedback import (
+    attribute_carriers,
+    expression_key,
+    referenced_tables,
+)
 from repro.stats.statistics import TableStatistics, join_selectivity
 
 #: default fraction of tuples surviving a selection when nothing better is known
@@ -146,11 +151,18 @@ class CostModel:
     ``None``) transparently fall back to the default constants.
     """
 
-    def __init__(self, source=None, statistics=None, vectorized: bool = False):
+    def __init__(self, source=None, statistics=None, vectorized: bool = False,
+                 feedback=None):
         self.source = source
         if statistics is None:
             statistics = getattr(source, "statistics", None)
         self.statistics = statistics
+        #: the engine's :class:`~repro.obs.feedback.CardinalityFeedback` store
+        #: (taken from the source when omitted, as with statistics): observed
+        #: cardinalities take precedence over histogram/NDV estimation
+        if feedback is None:
+            feedback = getattr(source, "cardinality_feedback", None)
+        self.feedback = feedback
         #: per-tuple work factor for selection/guard/reshaping nodes; the
         #: vectorized engine pays less interpreter overhead per tuple
         self.tuple_cost = VECTORIZED_TUPLE_COST if vectorized else ROW_TUPLE_COST
@@ -191,14 +203,37 @@ class CostModel:
 
     def estimate(self, expression: Expression,
                  _memo: Optional[Dict[int, CostEstimate]] = None) -> CostEstimate:
-        """Recursively estimate output cardinality and total work of ``expression``."""
+        """Recursively estimate output cardinality and total work of ``expression``.
+
+        Precedence order: an **observed** cardinality from the feedback store
+        (recorded by a previous execution of the same subexpression under the
+        current statistics version) overrides whatever the histogram/NDV math
+        below derived; the structural hard ``bound`` still caps it.  Base
+        relations are excluded — their live row count is already exact.
+        """
         memo: Dict[int, CostEstimate] = _memo if _memo is not None else {}
         cached = memo.get(id(expression))
         if cached is not None:
             return cached
         estimate = self._estimate(expression, memo)
+        observed = self._observed_cardinality(expression)
+        if observed is not None and float(observed) != estimate.cardinality:
+            estimate = CostEstimate(min(float(observed), estimate.bound),
+                                    estimate.work, bound=estimate.bound)
         memo[id(expression)] = estimate
         return estimate
+
+    def _observed_cardinality(self, expression: Expression):
+        """The feedback store's observation for this subexpression, if any."""
+        feedback = self.feedback
+        if feedback is None or not len(feedback):
+            return None
+        if isinstance(expression, (RelationRef, EmptyRelation)):
+            return None
+        version = getattr(self.statistics, "version", None)
+        if version is None:
+            return None
+        return feedback.lookup(expression_key(expression), version)
 
     def _estimate(self, expression: Expression, memo: Dict[int, CostEstimate]) -> CostEstimate:
         if isinstance(expression, EmptyRelation):
@@ -363,14 +398,19 @@ class CostModel:
             return None
 
     def _join_selectivity(self, expression: NaturalJoin) -> float:
-        """Selectivity of a natural join over the pair count, from both sides' stats."""
+        """Selectivity of a natural join over the pair count.
+
+        Precedence per join attribute: an **observed** edge selectivity from
+        the feedback store (recorded off an executed mis-estimated join over
+        the same attribute and carrier tables) beats the NDV-overlap estimate;
+        statistics answer for the rest; any attribute neither can price drops
+        the whole join to :data:`DEFAULT_SELECTIVITY`.
+        """
         left_stats = self.base_statistics(expression.left)
         right_stats = self.base_statistics(expression.right)
-        if left_stats is None or right_stats is None:
-            return DEFAULT_SELECTIVITY
         if expression.on is not None:
             attributes = [a.name for a in expression.on]
-        else:
+        elif left_stats is not None and right_stats is not None:
             # The natural-join attributes are data-dependent; the observed
             # attribute universes of both sides predict them.
             attributes = sorted(set(left_stats.attribute_names())
@@ -378,7 +418,34 @@ class CostModel:
             if not attributes:
                 # Disjoint attribute spaces degenerate to a cartesian product.
                 return 1.0
-        return join_selectivity(left_stats, right_stats, attributes)
+        else:
+            return DEFAULT_SELECTIVITY
+        selectivity = 1.0
+        for name in attributes:
+            observed = self._observed_edge_selectivity(expression, name)
+            if observed is not None:
+                selectivity *= observed
+            elif left_stats is not None and right_stats is not None:
+                selectivity *= join_selectivity(left_stats, right_stats, [name])
+            else:
+                return DEFAULT_SELECTIVITY
+        return selectivity
+
+    def _observed_edge_selectivity(self, expression: NaturalJoin,
+                                   name: str) -> Optional[float]:
+        """The feedback store's observed selectivity for one join attribute."""
+        feedback = self.feedback
+        if feedback is None or not len(feedback):
+            return None
+        version = getattr(self.statistics, "version", None)
+        if version is None:
+            return None
+        tables = (referenced_tables(expression.left)
+                  | referenced_tables(expression.right))
+        carriers = attribute_carriers(self.source, tables, name)
+        if not carriers:
+            return None
+        return feedback.lookup_edge(name, carriers, version)
 
 
 def estimate_cost(expression: Expression, source=None, statistics=None) -> CostEstimate:

@@ -100,6 +100,7 @@ from repro.algebra.expressions import (
 )
 from repro.errors import OptimizerError
 from repro.model.attributes import AttributeSet, attrset
+from repro.obs.feedback import attribute_carriers, referenced_tables
 from repro.optimizer.cost import CostEstimate, CostModel
 from repro.stats.statistics import TableStatistics, join_selectivity
 
@@ -508,8 +509,8 @@ def _index_fanout(cost_model: CostModel, atom: JoinAtom,
     return max(1.0, bucket_size())
 
 
-def _cut_selectivity(graph: JoinGraph, left_mask: int,
-                     right_mask: int) -> Optional[float]:
+def _cut_selectivity(graph: JoinGraph, left_mask: int, right_mask: int,
+                     cost_model: Optional[CostModel] = None) -> Optional[float]:
     """Per-**attribute** selectivity of the cut between two disjoint subsets.
 
     Multiplying per crossing *edge* over-reduces the estimate on attribute
@@ -536,12 +537,35 @@ def _cut_selectivity(graph: JoinGraph, left_mask: int,
     per-edge number, so non-clique graphs (stars, chains) price identically.
     Returns ``None`` when any involved atom lacks base statistics — the caller
     then falls back to the per-edge default-selectivity product.
+
+    An **observed** edge selectivity from the cost model's feedback store
+    (recorded off an executed mis-estimated join over the same attribute and
+    carrier tables) takes precedence over the NDV math for its attribute —
+    and, unlike statistics, survives the carriers' ANALYZE data going stale.
+    This is how one badly-ordered execution re-orders the next plan: the
+    observed fraction prices candidate cuts the search never executed.
     """
+    feedback = getattr(cost_model, "feedback", None) if cost_model else None
+    feedback_version = None
+    if feedback is not None and len(feedback):
+        feedback_version = getattr(cost_model.statistics, "version", None)
     names = sorted({attribute.name for edge in graph.edges
                     if _crosses(edge, left_mask, right_mask)
                     for attribute in edge.attributes})
     selectivity = 1.0
     for name in names:
+        if feedback_version is not None:
+            tables = set()
+            for atom in graph._atoms_of(left_mask | right_mask):
+                if name in atom.universe_names:
+                    tables |= referenced_tables(atom.expression)
+            carriers = attribute_carriers(cost_model.source, tables, name)
+            if carriers:
+                observed = feedback.lookup_edge(name, carriers,
+                                                feedback_version)
+                if observed is not None:
+                    selectivity *= observed
+                    continue
         side_ndvs = []
         for mask in (left_mask, right_mask):
             carriers = [atom for atom in graph._atoms_of(mask)
@@ -561,7 +585,7 @@ def _join_plans(graph: JoinGraph, cost_model: CostModel,
                 left: _Plan, right: _Plan,
                 probe_factor: float = INDEX_PROBE_COST_FACTOR) -> _Plan:
     """Price the join of two disjoint partial plans (hash or index probe)."""
-    selectivity = _cut_selectivity(graph, left.mask, right.mask)
+    selectivity = _cut_selectivity(graph, left.mask, right.mask, cost_model)
     if selectivity is None:
         # Statistics-free atoms: the per-edge default selectivities apply.
         selectivity = 1.0

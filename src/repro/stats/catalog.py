@@ -163,7 +163,14 @@ class StatisticsCatalog:
         every table — analyzed or not — a cardinality change across a
         power-of-two boundary also bumps the version, so cached join-algorithm
         choices are revisited as tables grow or shrink substantially.
+
+        The database's cardinality-feedback store piggybacks on the same hook:
+        observed row counts for subexpressions reading the mutated table are
+        no longer evidence and are dropped (O(1) when the table has none).
         """
+        feedback = getattr(self._database, "cardinality_feedback", None)
+        if feedback is not None:
+            feedback.invalidate_table(name)
         entry = self._entries.get(name)
         if entry is not None:
             if not entry.statistics.stale:
