@@ -125,6 +125,10 @@ def test_report_plan_cache_and_index_scan(join_database):
 
     point_query = Selection(RelationRef("employees"), Comparison("emp_id", "=", 123))
     first = join_database.execute(point_query, optimize=False)
+    # The first run's default-constant estimate is off by ≥2×, so the feedback
+    # store records a correction and the second run re-plans against it; from
+    # the third on the corrected plan is the steady state and the cache is hot.
+    join_database.execute(point_query, optimize=False)
     second = join_database.execute(point_query, optimize=False)
 
     rows = [{
@@ -138,7 +142,7 @@ def test_report_plan_cache_and_index_scan(join_database):
     assert first.tuples == second.tuples and len(second) == 1
     # The key index answers the point query without scanning the other 999 tuples.
     assert second.stats.tuples_scanned == 1
-    assert executor.cache.hits >= 1 and executor.cache.misses == 1
+    assert executor.cache.hits >= 1 and executor.cache.misses == 2
 
 
 @pytest.mark.benchmark(group="e10-join")

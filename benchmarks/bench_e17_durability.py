@@ -1,0 +1,150 @@
+"""E17 — durability under fire: WAL overhead, group commit, crash recovery.
+
+Every autocommitted mutation against a ``Database(durable_path=...)`` is an
+fsynced commit point in the write-ahead log, so single-commit durability pays
+one ``fsync`` per DML statement.  Group commit (``group_commit_window`` +
+``group_commit_max``) batches those commit points: the fsync happens once per
+window, and every commit in the window rides on it.
+
+Wall-clock is the wrong gate here — CI scratch space is typically tmpfs, where
+``fsync`` is nearly free and the measured overhead collapses into noise.  The
+machine-independent number is the **fsync amortization ratio**
+``commits / fsyncs``: 1.0x under fsync-per-commit, ≥``group_commit_max``-ish
+under group commit.  That ratio is deterministic (it counts syscalls, not
+seconds) and is what the ``speedup`` column records for
+``check_regression.py``.
+
+Gate (the ISSUE acceptance criterion): group commit must amortize the durable
+overhead by **≥2×** — i.e. retire at least twice as many commits per fsync as
+the single-commit configuration — while the durable database's contents stay
+byte-identical to the in-memory run and a post-crash reopen replays the WAL
+back to exactly that state.
+"""
+
+import shutil
+import time
+
+import pytest
+
+from reporting import print_report
+from repro.engine import Database
+from repro.storage import canonical_state
+from repro.workloads.employees import employee_definition, generate_employees
+
+#: the ISSUE acceptance factor: group commit retires ≥ this many times more
+#: commits per fsync than the fsync-per-commit configuration
+ACCEPTANCE_FACTOR = 2
+
+#: DML statements per run — each autocommitted insert is one WAL commit point
+COMMITS = 300
+
+#: group-commit configuration under test: a wide window so the fsync cadence
+#: is driven purely by ``group_commit_max`` (deterministic in CI)
+GROUP_COMMIT_MAX = 10
+GROUP_COMMIT_WINDOW = 60.0
+
+
+def _create_employees(database):
+    definition = employee_definition()
+    return database.create_table(
+        "employees", definition.scheme, domains=definition.domains,
+        key=definition.key, dependencies=definition.dependencies,
+    )
+
+
+def _run_workload(database, tuples):
+    """Insert each tuple as its own autocommitted statement; returns seconds."""
+    table = _create_employees(database)
+    start = time.perf_counter()
+    for tup in tuples:
+        table.insert(tup)
+    return time.perf_counter() - start
+
+
+def test_report_group_commit_amortizes_fsyncs(tmp_path):
+    """WAL overhead: in-memory vs fsync-per-commit vs group commit."""
+    tuples = generate_employees(COMMITS, seed=131)
+
+    memory = Database()
+    memory_seconds = _run_workload(memory, tuples)
+
+    single = Database(durable_path=str(tmp_path / "single"))
+    single_seconds = _run_workload(single, tuples)
+    single_stats = single.metrics()["durability"]
+
+    grouped = Database(durable_path=str(tmp_path / "grouped"),
+                       group_commit_window=GROUP_COMMIT_WINDOW,
+                       group_commit_max=GROUP_COMMIT_MAX)
+    grouped_seconds = _run_workload(grouped, tuples)
+    grouped.durability.wal.flush()  # drain the last (partial) window
+    grouped_stats = grouped.metrics()["durability"]
+
+    single_ratio = single_stats["commits"] / max(1, single_stats["fsyncs"])
+    grouped_ratio = grouped_stats["commits"] / max(1, grouped_stats["fsyncs"])
+
+    rows = [
+        {"configuration": "in-memory", "seconds": "{:.4f}".format(memory_seconds),
+         "commits": 0, "fsyncs": 0, "speedup": ""},
+        {"configuration": "durable, fsync per commit",
+         "seconds": "{:.4f}".format(single_seconds),
+         "commits": single_stats["commits"], "fsyncs": single_stats["fsyncs"],
+         "speedup": "{:.2f}x".format(single_ratio)},
+        {"configuration": "durable, group commit (max {})".format(GROUP_COMMIT_MAX),
+         "seconds": "{:.4f}".format(grouped_seconds),
+         "commits": grouped_stats["commits"], "fsyncs": grouped_stats["fsyncs"],
+         "speedup": "{:.2f}x".format(grouped_ratio)},
+    ]
+    print_report(
+        "E17: durable WAL — group commit amortizes the fsync-per-commit overhead",
+        rows, json_name="e17_durability", database=grouped,
+    )
+
+    # Durability must not change what the database contains.
+    assert canonical_state(single) == canonical_state(memory)
+    assert canonical_state(grouped) == canonical_state(memory)
+    # Every statement was a commit point in both durable configurations.
+    assert single_stats["commits"] == COMMITS
+    assert grouped_stats["commits"] == COMMITS
+    # The gate: group commit amortizes ≥2× over fsync-per-commit, which by
+    # construction retires one commit per fsync (plus one DDL sync for the
+    # CREATE TABLE, so its ratio sits just under 1.0x).
+    assert single_stats["fsyncs"] == COMMITS + 1
+    assert grouped_ratio >= ACCEPTANCE_FACTOR * single_ratio
+    single.close()
+    grouped.close()
+
+
+def test_report_crash_recovery_replays_the_wal(tmp_path):
+    """Recovery: kill the process image, reopen, replay committed work."""
+    tuples = generate_employees(COMMITS, seed=137)
+    directory = tmp_path / "crashed"
+
+    original = Database(durable_path=str(directory))
+    _run_workload(original, tuples)
+    expected = canonical_state(original)
+    wal_bytes = original.metrics()["durability"]["wal_bytes"]
+    # Simulated crash: drop the object without close() — no checkpoint, no
+    # clean shutdown; the WAL is all that survives.
+    del original
+
+    start = time.perf_counter()
+    recovered = Database(durable_path=str(directory))
+    recovery_seconds = time.perf_counter() - start
+    report = recovered.metrics()["durability"]["last_recovery"]
+    megabytes = wal_bytes / (1024.0 * 1024.0)
+
+    rows = [{
+        "wal_bytes": wal_bytes,
+        "records": report["records_read"],
+        "replayed_txns": report["transactions_applied"],
+        "recovery_seconds": "{:.4f}".format(recovery_seconds),
+        "throughput_mb_s": "{:.1f}".format(megabytes / max(recovery_seconds, 1e-9)),
+    }]
+    print_report("E17: crash recovery — WAL replay restores the committed state",
+                 rows, json_name="e17_recovery", database=recovered)
+
+    assert canonical_state(recovered) == expected
+    assert report["operations_applied"] == COMMITS
+    assert report["torn_offset"] is None
+    recovered.close()
+    shutil.rmtree(str(directory))

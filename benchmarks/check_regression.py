@@ -32,8 +32,11 @@ import sys
 #: that makes the observability layer expensive drags it below its baseline.
 #: e16's ratio is stale-run/corrected-run join pairs (≥5x): a PR that breaks
 #: the cardinality-feedback loop collapses it toward 1.0x.
+#: e17's ratio is the group-commit fsync amortization (commits per fsync,
+#: ≈``group_commit_max``): a PR that fsyncs more often than the commit
+#: protocol requires drags it toward 1.0x.
 TRACKED_REPORTS = ("e12_vectorized_exec", "e14_full_batch", "e15_observability",
-                   "e16_feedback")
+                   "e16_feedback", "e17_durability")
 
 DEFAULT_TOLERANCE = 0.2
 

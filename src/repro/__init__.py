@@ -85,6 +85,15 @@ from repro.stats import (
     TableStatistics,
     analyze_table,
 )
+from repro.storage import (
+    DurabilityManager,
+    FaultPlan,
+    RecoveryReport,
+    WALError,
+    WriteAheadLog,
+    crash_at_every_offset,
+    record_workload,
+)
 from repro.types import RecordType, TypeGuard, is_record_subtype
 
 __version__ = "1.0.0"
@@ -127,6 +136,13 @@ __all__ = [
     "StatisticsCatalog",
     "TableStatistics",
     "analyze_table",
+    "DurabilityManager",
+    "FaultPlan",
+    "RecoveryReport",
+    "WALError",
+    "WriteAheadLog",
+    "crash_at_every_offset",
+    "record_workload",
     "RecordType",
     "TypeGuard",
     "is_record_subtype",

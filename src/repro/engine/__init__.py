@@ -14,6 +14,8 @@ from repro.engine.catalog import Catalog, TableDefinition
 from repro.engine.constraints import ConstraintChecker, KeyConstraint
 from repro.engine.database import Database, Table
 from repro.engine.serialization import (
+    SerializationError,
+    atomic_write_json,
     dump_database,
     dumps_database,
     load_database,
@@ -28,6 +30,8 @@ __all__ = [
     "KeyConstraint",
     "Database",
     "Table",
+    "SerializationError",
+    "atomic_write_json",
     "dump_database",
     "dumps_database",
     "load_database",

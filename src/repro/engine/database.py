@@ -9,6 +9,7 @@ declared dependencies, and runs (optionally optimized) queries.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -62,10 +63,17 @@ class Table:
     Every successful mutation bumps :attr:`mutation_count` and notifies the
     optional ``on_mutation`` callback — the hook the database uses to invalidate
     collected statistics the moment they could mislead the planner.
+
+    The optional ``journal`` callback — ``journal(kind, old, new)`` — is the
+    write-ahead hook of durable databases: it is called after every constraint
+    check has passed but *before* the mutation is applied, so a mutation is on
+    the log before it is visible in memory (see :mod:`repro.storage`).
+    :meth:`restore` never journals — it implements rollback, whose uncommitted
+    records the log discards by itself.
     """
 
     def __init__(self, definition: TableDefinition, enforce: bool = True,
-                 on_mutation=None):
+                 on_mutation=None, journal=None):
         self.definition = definition
         self.checker = ConstraintChecker(
             definition,
@@ -77,6 +85,7 @@ class Table:
         #: bumped on every successful insert / update / delete / restore
         self.mutation_count = 0
         self._on_mutation = on_mutation
+        self._journal = journal
 
     def _mutated(self, kind: str) -> None:
         self.mutation_count += 1
@@ -137,6 +146,8 @@ class Table:
         if tup in self._tuples:
             return tup
         self.checker.check_insert(tup)
+        if self._journal is not None:
+            self._journal("insert", None, tup)
         self._tuples.add(tup)
         self.checker.register_tuple(tup)
         self._mutated("insert")
@@ -151,6 +162,8 @@ class Table:
         tup = _as_tuple(item)
         if tup not in self._tuples:
             return False
+        if self._journal is not None:
+            self._journal("delete", tup, None)
         self._tuples.remove(tup)
         self.checker.unregister_tuple(tup)
         self._mutated("delete")
@@ -201,6 +214,8 @@ class Table:
                 merged[name] = value
         new_tuple = FlexTuple(merged)
         self.checker.check_update(old_tuple, new_tuple)
+        if self._journal is not None:
+            self._journal("update", old_tuple, new_tuple)
         self._tuples.remove(old_tuple)
         self.checker.unregister_tuple(old_tuple)
         self._tuples.add(new_tuple)
@@ -252,7 +267,13 @@ class Database:
                  auto_analyze: bool = False,
                  auto_analyze_fraction: float = 0.1,
                  join_order_search: Optional[str] = None,
-                 slow_query_threshold: float = 1.0):
+                 slow_query_threshold: float = 1.0,
+                 durable_path: Optional[str] = None,
+                 group_commit_window: float = 0.0,
+                 group_commit_max: int = 64,
+                 checkpoint_every_bytes: Optional[int] = None,
+                 wal_fsync: bool = True,
+                 wal_file_factory=None):
         self.catalog = Catalog()
         self.enforce_constraints = enforce_constraints
         self._tables: Dict[str, Table] = {}
@@ -282,6 +303,24 @@ class Database:
         self.plan_watchdog = PlanWatchdog()
         #: the active :meth:`profile` window, if any
         self._active_profile: Optional[WorkloadProfile] = None
+        #: True while recovery replays the log (mutations must not re-log)
+        self._journal_suppressed = False
+        #: the durability manager of ``durable_path=...`` databases, else None
+        self.durability = None
+        if durable_path is not None:
+            # Imported lazily: repro.storage builds on the serialization layer,
+            # which imports this module.
+            from repro.storage.durable import DurabilityManager
+
+            self.durability = DurabilityManager(
+                self, durable_path,
+                group_commit_window=group_commit_window,
+                group_commit_max=group_commit_max,
+                checkpoint_every_bytes=checkpoint_every_bytes,
+                fsync=wal_fsync,
+                file_factory=wal_file_factory,
+            )
+            self.durability.open()
 
     @property
     def catalog_version(self) -> int:
@@ -329,16 +368,29 @@ class Database:
             indexes=indexes,
         )
         self.catalog.register(definition)
+        if self.durability is not None and not self._journal_suppressed:
+            try:
+                self.durability.log_create_table(definition)
+            except BaseException:
+                # The registration must not outlive a failed journal write, or
+                # memory and log would disagree about the schema.
+                self.catalog.unregister(name)
+                raise
         table = Table(
             definition,
             enforce=self.enforce_constraints,
-            on_mutation=lambda kind, _name=name: self.statistics.note_mutation(_name, kind),
+            on_mutation=lambda kind, _name=name: self._note_mutation(_name, kind),
+            journal=lambda kind, old, new, _name=name: self._journal_mutation(
+                _name, kind, old, new),
         )
         self._tables[name] = table
         return table
 
     def drop_table(self, name: str) -> None:
         """Remove a table and its definition (and any collected statistics)."""
+        self.table(name)  # raises CatalogError before anything is journaled
+        if self.durability is not None and not self._journal_suppressed:
+            self.durability.log_drop_table(name)
         self.catalog.unregister(name)
         del self._tables[name]
         self.statistics.invalidate(name)
@@ -379,6 +431,8 @@ class Database:
         Fresh statistics feed the cost model until the next mutation of the
         analyzed table.
         """
+        if self.durability is not None and not self._journal_suppressed:
+            self.durability.log_analyze(name, sample_size)
         self.statistics.analyze(name, sample_size=sample_size)
         if name is not None:
             return self.statistics.get(name)
@@ -402,6 +456,54 @@ class Database:
 
     def insert_many(self, name: str, items: Iterable) -> List[FlexTuple]:
         return self.table(name).insert_many(items)
+
+    # -- durability hooks --------------------------------------------------------------------------------
+
+    def _journal_mutation(self, name: str, kind: str, old, new) -> None:
+        """The tables' write-ahead hook: journal a checked, unapplied mutation."""
+        if self.durability is not None and not self._journal_suppressed:
+            self.durability.log_mutation(name, kind, old, new)
+
+    def _note_mutation(self, name: str, kind: str) -> None:
+        """The tables' post-apply hook: invalidate statistics, maybe checkpoint.
+
+        The auto-checkpoint trigger must live here (after the mutation is
+        applied), never in the journal hook: a snapshot taken between journal
+        and apply would miss the in-flight mutation whose record sits in the
+        old epoch's log — and that log is deleted after the switch.
+        """
+        self.statistics.note_mutation(name, kind)
+        if self.durability is not None and not self._journal_suppressed:
+            self.durability.maybe_checkpoint()
+
+    @contextmanager
+    def _suspend_journal(self):
+        """Recovery replays through the normal DML paths; this keeps the
+        replay from journaling (and checkpointing) itself."""
+        previous = self._journal_suppressed
+        self._journal_suppressed = True
+        try:
+            yield
+        finally:
+            self._journal_suppressed = previous
+
+    def checkpoint(self) -> str:
+        """Snapshot the database atomically and truncate the write-ahead log.
+
+        Only meaningful on durable databases; returns the snapshot path.
+        Recovery after the checkpoint loads the snapshot and replays only the
+        (fresh, small) log written since — bounding recovery cost.
+        """
+        if self.durability is None:
+            raise CatalogError(
+                "checkpoint() requires a durable database "
+                "(open it with Database(durable_path=...))")
+        return self.durability.checkpoint()
+
+    def close(self) -> None:
+        """Flush and close the write-ahead log (no-op for in-memory databases)."""
+        if self.durability is not None:
+            self.durability.close()
 
     # -- queries ------------------------------------------------------------------------------------------
 
@@ -625,7 +727,7 @@ class Database:
         log, the cardinality-feedback store and the plan watchdog."""
         cache = self.physical_executor.cache_info()
         lookups = cache["hits"] + cache["misses"]
-        return {
+        snapshot = {
             "metrics": self.metrics_registry.snapshot(),
             "plan_cache": dict(cache, hit_rate=(cache["hits"] / lookups
                                                 if lookups else None)),
@@ -633,6 +735,9 @@ class Database:
             "feedback": self.cardinality_feedback.as_dict(),
             "watchdog": self.plan_watchdog.as_dict(),
         }
+        if self.durability is not None:
+            snapshot["durability"] = self.durability.as_dict()
+        return snapshot
 
     def reset_metrics(self) -> None:
         """Re-baseline the observability layer without rebuilding the database.
@@ -779,29 +884,76 @@ class _Transaction:
 
     The snapshot covers table *contents*; schema changes (``create_table`` /
     ``drop_table``) inside a transaction are intentionally not undone — they are DDL,
-    and the paper's constraints concern the instance level.
+    and the paper's constraints concern the instance level.  DML is rolled back
+    even on tables the transaction itself created (the table survives, emptied),
+    matching what write-ahead replay reconstructs: DDL records are autonomous,
+    transactional DML without a commit is discarded.
+
+    Rollback also rewinds the planning-relevant side state the transaction
+    touched: the statistics catalog (stale flags, incremental row counts,
+    version) and the cardinality-feedback store return to their entry state, so
+    plans cached before the transaction stay valid instead of being stranded by
+    version churn that no surviving data justifies.  Plans cached *during* the
+    transaction are evicted first — their version numbers will be reused for
+    different future states.
+
+    On a durable database the scope maps to a write-ahead transaction: records
+    inside carry a shared ``txn`` id, the commit record is fsynced on clean
+    exit, and an exception appends an abort record (best effort — replay
+    discards uncommitted transactions regardless).
     """
 
     def __init__(self, database: "Database"):
         self._database = database
         self._snapshots: Dict[str, Set[FlexTuple]] = {}
+        self._statistics_state: Optional[Dict[str, object]] = None
+        self._statistics_version = 0
+        self._feedback_version = 0
+        self._durability = None
 
     def __enter__(self) -> "Database":
+        database = self._database
         self._snapshots = {
-            name: self._database.table(name).snapshot() for name in self._database.tables()
+            name: database.table(name).snapshot() for name in database.tables()
         }
-        return self._database
+        self._statistics_state = database.statistics.capture()
+        self._statistics_version = database.statistics.version
+        self._feedback_version = database.cardinality_feedback.version
+        if database.durability is not None and not database._journal_suppressed:
+            self._durability = database.durability
+            self._durability.begin()
+        return database
 
     def __exit__(self, exc_type, exc_value, traceback) -> bool:
-        if exc_type is not None:
-            for name, snapshot in self._snapshots.items():
-                if name not in self._database.catalog:
-                    continue
-                table = self._database.table(name)
-                # Only touched tables are restored: an untouched table keeps its
-                # indexes and its fresh planner statistics.
-                if table.snapshot() != snapshot:
-                    table.restore(snapshot)
+        database = self._database
+        if exc_type is None:
+            if self._durability is not None:
+                self._durability.commit()
+            return False
+        if self._durability is not None:
+            self._durability.abort()
+        for name in database.tables():
+            if name in self._snapshots:
+                continue
+            # Created inside the failed transaction: the schema stays (DDL),
+            # any tuples inserted since do not (DML).
+            table = database.table(name)
+            if len(table):
+                table.restore(set())
+        for name, snapshot in self._snapshots.items():
+            if name not in database.catalog:
+                continue
+            table = database.table(name)
+            # Only touched tables are restored: an untouched table keeps its
+            # indexes and its fresh planner statistics.
+            if table.snapshot() != snapshot:
+                table.restore(snapshot)
+        if database._physical_executor is not None:
+            database._physical_executor.evict_plans_after(
+                self._statistics_version, self._feedback_version)
+        database.statistics.rollback_capture(self._statistics_state)
+        database.cardinality_feedback.rollback(
+            self._feedback_version, self._statistics_version)
         return False
 
 

@@ -60,6 +60,13 @@ class PlanCache:
     def clear(self) -> None:
         self._plans.clear()
 
+    def evict(self, predicate) -> int:
+        """Drop every cached plan whose key satisfies ``predicate``; returns count."""
+        doomed = [key for key in self._plans if predicate(key)]
+        for key in doomed:
+            del self._plans[key]
+        return len(doomed)
+
     def __len__(self) -> int:
         return len(self._plans)
 
@@ -132,6 +139,24 @@ class PhysicalExecutor:
         """The plan-cache counters as a plain dict (rendered by explain output)."""
         return {"hits": self.cache.hits, "misses": self.cache.misses,
                 "size": len(self.cache), "max_size": self.cache.max_size}
+
+    def evict_plans_after(self, statistics_version: int,
+                          feedback_version: int) -> int:
+        """Drop plans cached under versions newer than the given ones.
+
+        Called by transaction rollback before it winds the statistics and
+        feedback version counters back: versions bumped inside the rolled-back
+        transaction will be handed out again for *different* future states, so
+        any plan cached under them must not survive to alias those states.
+        """
+        def too_new(key) -> bool:
+            cached_statistics, cached_feedback = key[6], key[7]
+            return ((isinstance(cached_statistics, int)
+                     and cached_statistics > statistics_version)
+                    or (isinstance(cached_feedback, int)
+                        and cached_feedback > feedback_version))
+
+        return self.cache.evict(too_new)
 
     def plan(self, expression: Expression,
              vectorize: Optional[bool] = None,

@@ -305,6 +305,28 @@ class CardinalityFeedback:
             self._version += 1
         return dropped
 
+    def rollback(self, version: int, statistics_version: int) -> int:
+        """Undo the version churn of a rolled-back transaction; returns drops.
+
+        Observations recorded under statistics versions newer than
+        ``statistics_version`` were keyed against states the rollback erased —
+        those version numbers will be handed out again for different states,
+        so the observations are dropped rather than left to alias them.
+        Entries invalidated *during* the transaction stay gone (their evidence
+        cannot be reconstructed; losing feedback is only ever a planning
+        pessimization).  The version counter is then restored so plans cached
+        before the transaction are valid again.
+        """
+        dropped = 0
+        for store in (self._entries, self._edges):
+            doomed = [key for key in store if key[-1] > statistics_version]
+            for key in doomed:
+                _value, tables = store.pop(key)
+                self._count_tables(tables, -1)
+            dropped += len(doomed)
+        self._version = version
+        return dropped
+
     def clear(self) -> None:
         if self._entries or self._edges:
             self._version += 1

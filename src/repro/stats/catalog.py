@@ -111,6 +111,50 @@ class StatisticsCatalog:
         self._entries[name] = _Entry(statistics, table, getattr(table, "mutation_count", 0))
         self._version += 1
 
+    # -- transaction rollback support ------------------------------------------------------
+
+    def capture(self) -> Dict[str, object]:
+        """An opaque snapshot of the planning-relevant state, for rollback.
+
+        ``Database.transaction`` takes one on entry; :meth:`rollback_capture`
+        puts everything back after the table contents have been restored, so a
+        rolled-back transaction leaves no trace in the version counter and
+        previously fresh statistics become fresh again.
+        """
+        return {
+            "version": self._version,
+            "magnitudes": dict(self._magnitudes),
+            "entries": {
+                name: (entry, entry.statistics.stale, entry.statistics.row_count)
+                for name, entry in self._entries.items()
+            },
+        }
+
+    def rollback_capture(self, state: Dict[str, object]) -> None:
+        """Restore a :meth:`capture` after the tables were rolled back.
+
+        Entries analyzed *during* the transaction described rolled-back
+        contents and are dropped; entries from before it get their in-place
+        mutations (stale flag, incremental row count) undone and their
+        freshness fingerprint re-synchronized to the restored table — the
+        contents are identical to when the statistics were collected, so
+        statistics that were fresh at entry are fresh again.  Tables dropped
+        inside the transaction (DDL survives rollback) lose their entries.
+        """
+        self._entries = {}
+        for name, (entry, stale, row_count) in state["entries"].items():
+            try:
+                table = self._database.table(name)
+            except Exception:
+                continue
+            entry.statistics.stale = stale
+            entry.statistics.row_count = row_count
+            entry.table = table
+            entry.mutation_count = getattr(table, "mutation_count", 0)
+            self._entries[name] = entry
+        self._magnitudes = dict(state["magnitudes"])
+        self._version = state["version"]
+
     # -- lookup --------------------------------------------------------------------------
 
     def _is_fresh(self, name: str, entry: _Entry) -> bool:

@@ -149,3 +149,108 @@ class TestDatabaseRoundTrip:
     def test_dump_is_deterministic(self):
         database = self._loaded_database()
         assert dumps_database(database) == dumps_database(database)
+
+
+class TestMalformedDocuments:
+    """Malformed input raises SerializationError naming the offending path."""
+
+    def _document(self):
+        database = Database()
+        definition = employee_definition()
+        table = database.create_table("employees", definition.scheme,
+                                      domains=definition.domains, key=definition.key,
+                                      dependencies=definition.dependencies)
+        table.insert_many(generate_employees(3, seed=4))
+        return database_to_dict(database)
+
+    def test_version_message_names_supported_version(self):
+        with pytest.raises(SerializationError, match="this build reads version 1"):
+            database_from_dict({"format_version": 999, "tables": []})
+
+    def test_top_level_must_be_an_object(self):
+        with pytest.raises(SerializationError, match="expected an object"):
+            database_from_dict([1, 2, 3])
+
+    def test_missing_table_name_names_the_path(self):
+        document = self._document()
+        del document["tables"][0]["name"]
+        with pytest.raises(SerializationError, match=r"tables\[0\]"):
+            database_from_dict(document)
+
+    def test_malformed_scheme_names_the_path(self):
+        document = self._document()
+        document["tables"][0]["scheme"] = {"kind": "scheme", "at_least": 1,
+                                           "at_most": 2, "components": "oops"}
+        with pytest.raises(SerializationError, match=r"tables\[0\].scheme.components"):
+            database_from_dict(document)
+
+    def test_malformed_domain_names_the_attribute(self):
+        document = self._document()
+        document["tables"][0]["domains"]["salary"] = {"kind": "range", "low": 0}
+        with pytest.raises(SerializationError, match=r"domains\['salary'\]"):
+            database_from_dict(document)
+
+    def test_malformed_dependency_names_the_index(self):
+        document = self._document()
+        document["tables"][0]["dependencies"][0] = {"kind": "fd", "lhs": ["a"]}
+        with pytest.raises(SerializationError, match=r"dependencies\[0\]"):
+            database_from_dict(document)
+
+    def test_non_list_tuples_rejected(self):
+        document = self._document()
+        document["tables"][0]["tuples"] = {"not": "a list"}
+        with pytest.raises(SerializationError, match=r"tables\[0\].tuples"):
+            database_from_dict(document)
+
+    def test_non_object_tuple_names_its_index(self):
+        document = self._document()
+        document["tables"][0]["tuples"].insert(1, "oops")
+        with pytest.raises(SerializationError, match=r"tuples\[1\]"):
+            database_from_dict(document)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        from repro.engine.serialization import load_json_file
+        with pytest.raises(SerializationError, match="not valid JSON"):
+            load_json_file(str(path))
+
+    def test_load_database_wraps_decode_errors(self):
+        with pytest.raises(SerializationError, match="not valid JSON"):
+            loads_database("{broken")
+
+
+class TestAtomicDump:
+    def _loaded_database(self):
+        database = Database()
+        definition = employee_definition()
+        table = database.create_table("employees", definition.scheme,
+                                      domains=definition.domains, key=definition.key,
+                                      dependencies=definition.dependencies)
+        table.insert_many(generate_employees(5, seed=9))
+        return database
+
+    def test_dump_and_load_accept_paths(self, tmp_path):
+        database = self._loaded_database()
+        path = tmp_path / "db.json"
+        dump_database(database, path)
+        restored = load_database(path)
+        assert restored.table("employees").tuples == database.table("employees").tuples
+
+    def test_dump_replaces_atomically(self, tmp_path):
+        database = self._loaded_database()
+        path = tmp_path / "db.json"
+        path.write_text("previous contents")
+        dump_database(database, str(path))
+        assert json.loads(path.read_text())["format_version"] == 1
+        # no temp-file debris left behind
+        assert [p.name for p in tmp_path.iterdir()] == ["db.json"]
+
+    def test_failed_dump_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "db.json"
+        path.write_text("precious")
+        from repro.engine.serialization import atomic_write_json
+        with pytest.raises(TypeError):
+            atomic_write_json(str(path), {"bad": object()})
+        assert path.read_text() == "precious"
+        assert [p.name for p in tmp_path.iterdir()] == ["db.json"]

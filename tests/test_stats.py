@@ -199,16 +199,29 @@ class TestInvalidation:
         table.update(victim, salary=123.0)
         assert database.statistics.get("employees") is None
 
-    def test_rollback_invalidates_touched_table_and_reconciles_row_count(
-            self, analyzed_employees):
+    def test_rollback_restores_freshness_and_row_count(self, analyzed_employees):
+        # A rolled-back transaction leaves the table exactly as analyzed, so
+        # the rollback restores the statistics (and their row count) as fresh
+        # instead of stranding them stale.
         database, rows = analyzed_employees
         with pytest.raises(RuntimeError):
             with database.transaction():
                 database.insert("employees", generate_employees(1, seed=8, start_id=50_000)[0])
                 raise RuntimeError("boom")
-        assert database.statistics.get("employees") is None
-        # The rollback resynchronizes the incrementally maintained row count.
-        assert database.stats("employees").row_count == len(rows)
+        fresh = database.statistics.get("employees")
+        assert fresh is not None
+        assert fresh.row_count == len(rows)
+
+    def test_rollback_restores_version_counter(self, analyzed_employees):
+        # Version churn from a rolled-back transaction is undone, so plans
+        # cached before the transaction stay valid afterwards.
+        database, _rows = analyzed_employees
+        version = database.statistics_version
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.insert("employees", generate_employees(1, seed=9, start_id=60_000)[0])
+                raise RuntimeError("boom")
+        assert database.statistics_version == version
 
     def test_rollback_keeps_untouched_tables_fresh(self, analyzed_employees):
         database, _rows = analyzed_employees
@@ -220,8 +233,7 @@ class TestInvalidation:
             with database.transaction():
                 database.insert("extra", {"x": 99})
                 raise RuntimeError("boom")
-        # Only the touched table loses freshness.
-        assert database.statistics.get("extra") is None
+        assert database.statistics.is_fresh("extra")
         assert database.statistics.is_fresh("employees")
 
     def test_reanalyze_restores_freshness(self, analyzed_employees):

@@ -92,3 +92,84 @@ class TestTransactions:
     def test_transaction_returns_database(self, database):
         with database.transaction() as handle:
             assert handle is database
+
+
+class TestRollbackVersionRestore:
+    """Rollback rewinds the planning-relevant side state it churned."""
+
+    def test_statistics_version_restored(self, database):
+        database.analyze()
+        version = database.statistics_version
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.insert("employees", _valid_employee(700))
+                raise RuntimeError("abort")
+        assert database.statistics_version == version
+        assert database.statistics.is_fresh("employees")
+
+    def test_feedback_version_restored(self, database):
+        feedback = database.cardinality_feedback
+        feedback.record(("test", "fp"), database.statistics_version,
+                        ["employees"], 42)
+        version = feedback.version
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.insert("employees", _valid_employee(701))
+                raise RuntimeError("abort")
+        assert feedback.version == version
+
+    def test_observations_from_inside_the_transaction_are_dropped(self, database):
+        feedback = database.cardinality_feedback
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.insert("employees", _valid_employee(702))
+                feedback.record(("txn", "fp"), database.statistics_version,
+                                ["employees"], 7)
+                raise RuntimeError("abort")
+        # the rolled-back statistics version will be handed out again for a
+        # different state; the observation keyed under it must not survive
+        assert feedback.lookup(("txn", "fp"), database.statistics_version + 1) is None
+
+    def test_statistics_collected_inside_are_dropped(self, database):
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.insert("employees", _valid_employee(703))
+                database.analyze("employees")
+                raise RuntimeError("abort")
+        assert database.stats("employees") is None
+
+    def test_plans_cached_before_stay_valid(self, database):
+        from repro.algebra.expressions import RelationRef
+
+        database.analyze()
+        database.execute(RelationRef("employees"))
+        hits_before = database.physical_executor.cache_hits
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.insert("employees", _valid_employee(704))
+                raise RuntimeError("abort")
+        database.execute(RelationRef("employees"))
+        assert database.physical_executor.cache_hits == hits_before + 1
+
+    def test_plans_cached_inside_are_evicted(self, database):
+        from repro.algebra.expressions import RelationRef
+
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.insert("employees", _valid_employee(705))
+                database.analyze("employees")   # bumps the statistics version
+                database.execute(RelationRef("employees"))
+                cached_inside = len(database.physical_executor.cache)
+                raise RuntimeError("abort")
+        assert len(database.physical_executor.cache) < cached_inside
+
+    def test_tables_created_inside_are_emptied_not_dropped(self, database):
+        from repro.model.scheme import FlexibleScheme
+
+        with pytest.raises(RuntimeError):
+            with database.transaction():
+                database.create_table("scratch", FlexibleScheme(1, 1, ["x"]))
+                database.insert("scratch", {"x": 1})
+                raise RuntimeError("abort")
+        assert "scratch" in database.tables()       # DDL survives
+        assert len(database.table("scratch")) == 0  # its DML does not
