@@ -35,8 +35,10 @@ import sys
 #: e17's ratio is the group-commit fsync amortization (commits per fsync,
 #: ≈``group_commit_max``): a PR that fsyncs more often than the commit
 #: protocol requires drags it toward 1.0x.
+#: e18's ratio is hash aggregation vs the naive sort-group reference (≥5x):
+#: a PR that slows the batch aggregation path drags it toward the gate.
 TRACKED_REPORTS = ("e12_vectorized_exec", "e14_full_batch", "e15_observability",
-                   "e16_feedback", "e17_durability")
+                   "e16_feedback", "e17_durability", "e18_aggregation")
 
 DEFAULT_TOLERANCE = 0.2
 

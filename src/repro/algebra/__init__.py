@@ -7,7 +7,11 @@ This package supplies those operators for flexible relations:
 * a predicate language for selections (:mod:`repro.algebra.predicates`),
 * an expression AST with one node per operator — selection, projection, cartesian
   product, union, outer union, difference, extension (tagging), renaming, natural
-  and multiway join, and explicit type guards (:mod:`repro.algebra.expressions`),
+  and multiway join, explicit type guards, and the analytic surface: grouping
+  with variant-aware aggregates, order annotations, top-k limits and scalar
+  subquery extensions (:mod:`repro.algebra.expressions`),
+* the shared analytic semantics — NULL-vs-absent aggregate matrix, ⊥-group
+  routing and the cross-engine total order (:mod:`repro.algebra.analytic`),
 * an evaluator that executes expression trees against a catalog of flexible
   relations and records execution statistics (:mod:`repro.algebra.evaluator`).
 
@@ -28,11 +32,14 @@ from repro.algebra.predicates import (
     TruePredicate,
     attribute_equals,
 )
+from repro.algebra.analytic import AggregateSpec, SortKey, aggregate_spec, sort_key
 from repro.algebra.expressions import (
+    Aggregate,
     Difference,
     EmptyRelation,
     Expression,
     Extension,
+    Limit,
     MultiwayJoin,
     NaturalJoin,
     OuterUnion,
@@ -41,6 +48,8 @@ from repro.algebra.expressions import (
     RelationRef,
     Rename,
     Selection,
+    Sort,
+    SubqueryExtension,
     TypeGuardNode,
     Union,
 )
@@ -71,6 +80,14 @@ __all__ = [
     "NaturalJoin",
     "MultiwayJoin",
     "TypeGuardNode",
+    "Aggregate",
+    "AggregateSpec",
+    "Sort",
+    "SortKey",
+    "Limit",
+    "SubqueryExtension",
+    "aggregate_spec",
+    "sort_key",
     "Evaluator",
     "EvaluationResult",
     "ExecutionStats",

@@ -14,11 +14,19 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set
 
+from repro.algebra.analytic import (
+    AggregateAccumulator,
+    group_key,
+    group_values,
+    top_k_rows,
+)
 from repro.algebra.expressions import (
+    Aggregate,
     Difference,
     EmptyRelation,
     Expression,
     Extension,
+    Limit,
     MultiwayJoin,
     NaturalJoin,
     OuterUnion,
@@ -27,6 +35,8 @@ from repro.algebra.expressions import (
     RelationRef,
     Rename,
     Selection,
+    Sort,
+    SubqueryExtension,
     TypeGuardNode,
     Union,
 )
@@ -45,6 +55,10 @@ class ExecutionStats:
     ``tuples_scanned``
         Tuples read from a base relation plus tuples passed through a per-tuple
         reshaping operator (projection, extension, rename, union, difference).
+        The analytic operators follow the same convention: aggregation, sort,
+        limit and subquery extension each add their *input* cardinality (a
+        fused physical top-k therefore counts its input once, while the
+        logical ``Limit(Sort(E))`` pair counts it once per node).
     ``predicate_evaluations``
         Selection predicates evaluated against a tuple (one per tuple per σ).
     ``guard_checks``
@@ -197,6 +211,14 @@ class Evaluator:
             return self._eval_multiway_join(expression, stats)
         if isinstance(expression, NaturalJoin):
             return self._eval_natural_join(expression, stats)
+        if isinstance(expression, Aggregate):
+            return self._eval_aggregate(expression, stats)
+        if isinstance(expression, Sort):
+            return self._eval_sort(expression, stats)
+        if isinstance(expression, Limit):
+            return self._eval_limit(expression, stats)
+        if isinstance(expression, SubqueryExtension):
+            return self._eval_subquery_extension(expression, stats)
         raise AlgebraError("cannot evaluate expression node {!r}".format(expression))
 
     # -- operator implementations ------------------------------------------------------------
@@ -295,6 +317,64 @@ class Evaluator:
                 if all(left_tuple[a] == right_tuple[a] for a in shared):
                     result.add(left_tuple.merge(right_tuple))
         return result
+
+    def _eval_aggregate(self, node: Aggregate, stats: ExecutionStats) -> Set[FlexTuple]:
+        child = self._evaluate(node.child, stats)
+        stats.tuples_scanned += len(child)
+        accumulator = AggregateAccumulator(node.specs)
+        groups: Dict[object, List] = {}
+        names = node.group_by
+        for tup in child:
+            values = tup._values
+            key = group_key(values, names)
+            states = groups.get(key)
+            if states is None:
+                states = groups[key] = accumulator.new_state()
+            accumulator.update(states, values)
+        if not groups and not names:
+            # Global aggregation over empty input: one row of empty aggregates.
+            out = accumulator.empty_result()
+            return {FlexTuple(out)} if out else set()
+        result = set()
+        for key, states in groups.items():
+            out = group_values(key, names)
+            out.update(accumulator.finalize(states))
+            if out:
+                result.add(FlexTuple(out))
+        return result
+
+    def _eval_sort(self, node: Sort, stats: ExecutionStats) -> Set[FlexTuple]:
+        # Results are sets, so an order annotation is the identity here; its keys
+        # take effect under a Limit (see _eval_limit).
+        child = self._evaluate(node.child, stats)
+        stats.tuples_scanned += len(child)
+        return child
+
+    def _eval_limit(self, node: Limit, stats: ExecutionStats) -> Set[FlexTuple]:
+        child = self._evaluate(node.child, stats)
+        stats.tuples_scanned += len(child)
+        keys = node.child.keys if isinstance(node.child, Sort) else ()
+        return set(top_k_rows(child, node.count, keys,
+                              key_of=lambda tup: tup._values))
+
+    def _eval_subquery_extension(self, node: SubqueryExtension,
+                                 stats: ExecutionStats) -> Set[FlexTuple]:
+        child = self._evaluate(node.child, stats)
+        scalar = self._evaluate(node.subquery, stats)
+        stats.tuples_scanned += len(child)
+        if not scalar:
+            return set(child)  # empty subquery: the attribute stays absent
+        if len(scalar) > 1:
+            raise AlgebraError(
+                "scalar subquery for {!r} produced {} tuples".format(
+                    node.attribute, len(scalar)))
+        (row,) = scalar
+        if len(row) != 1:
+            raise AlgebraError(
+                "scalar subquery for {!r} produced a tuple with {} attributes".format(
+                    node.attribute, len(row)))
+        (value,) = row._values.values()
+        return {tup.extend(**{node.attribute: value}) for tup in child}
 
     def _eval_multiway_join(self, node: MultiwayJoin, stats: ExecutionStats) -> Set[FlexTuple]:
         current = self._evaluate(node.inputs[0], stats)

@@ -20,6 +20,12 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.algebra.analytic import (
+    AggregateSpec,
+    SortKey,
+    aggregate_spec,
+    sort_key,
+)
 from repro.algebra.predicates import Predicate, TruePredicate
 from repro.core.dependencies import (
     AttributeDependency,
@@ -124,6 +130,18 @@ class Expression:
 
     def extend(self, attribute, value) -> "Extension":
         return Extension(self, attribute, value)
+
+    def extend_scalar(self, attribute, subquery: "Expression") -> "SubqueryExtension":
+        return SubqueryExtension(self, attribute, subquery)
+
+    def aggregate(self, group_by=(), specs=()) -> "Aggregate":
+        return Aggregate(self, group_by, specs)
+
+    def sort(self, *keys) -> "Sort":
+        return Sort(self, keys)
+
+    def limit(self, count: int) -> "Limit":
+        return Limit(self, count)
 
     def pretty(self, indent: int = 0) -> str:
         """Readable multi-line rendering of the expression tree."""
@@ -559,3 +577,184 @@ class MultiwayJoin(Expression):
 
     def _label(self) -> str:
         return "multiway-join[on={}]".format(self.on)
+
+
+class Aggregate(Expression):
+    """``γ_{G; specs}(E)`` — group by ``G`` and aggregate, variant-aware.
+
+    Grouping routes tuples *absent* on a group-by attribute into a distinct
+    ⊥ group for that attribute (the output tuple simply omits it), so the
+    operator never invents NULLs the way a padded model would.  The aggregate
+    matrix (NULL vs absent per function) is pinned in
+    :mod:`repro.algebra.analytic`.
+    """
+
+    operator = "aggregate"
+
+    def __init__(self, child: Expression, group_by=(), specs=()):
+        self.child = child
+        if isinstance(group_by, str):
+            group_by = (group_by,)
+        names: List[str] = []
+        for item in group_by:
+            name = item.name if hasattr(item, "name") else str(item)
+            if name in names:
+                raise AlgebraError(
+                    "duplicate group-by attribute {!r}".format(name))
+            names.append(name)
+        self.group_by: Tuple[str, ...] = tuple(names)
+        self.specs: Tuple[AggregateSpec, ...] = tuple(
+            aggregate_spec(spec) for spec in specs)
+        if not self.group_by and not self.specs:
+            raise AlgebraError("aggregation needs group-by attributes or aggregates")
+        outputs = set(self.group_by)
+        for spec in self.specs:
+            if spec.output in outputs:
+                raise AlgebraError(
+                    "duplicate aggregate output attribute {!r}".format(spec.output))
+            outputs.add(spec.output)
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Expression]) -> "Aggregate":
+        (child,) = children
+        return Aggregate(child, self.group_by, self.specs)
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        # Grouping rebuilds tuples from scratch; no input dependency is known to
+        # survive into (group key, aggregate) shapes — stay conservative.
+        return set()
+
+    def guaranteed_attributes(self) -> AttributeSet:
+        # Only count outputs are guaranteed: any other aggregate (and any group
+        # key) can come out absent for the ⊥/never-present cases.
+        return attrset(spec.output for spec in self.specs if spec.func == "count")
+
+    def _label(self) -> str:
+        parts = []
+        if self.group_by:
+            parts.append("group=[{}]".format(", ".join(self.group_by)))
+        parts.extend(repr(spec) for spec in self.specs)
+        return "aggregate[{}]".format(", ".join(parts))
+
+
+class Sort(Expression):
+    """``τ_keys(E)`` — order annotation over a set-valued expression.
+
+    Flexible relations are sets, so a sort on its own is the identity; its
+    keys become meaningful under a :class:`Limit` (top-k) and pin the
+    NULL/absent-last ordering documented in :mod:`repro.algebra.analytic`.
+    """
+
+    operator = "sort"
+
+    def __init__(self, child: Expression, keys):
+        self.child = child
+        if isinstance(keys, (str, SortKey)):
+            keys = (keys,)
+        self.keys: Tuple[SortKey, ...] = tuple(sort_key(key) for key in keys)
+        if not self.keys:
+            raise AlgebraError("sort needs at least one key")
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Expression]) -> "Sort":
+        (child,) = children
+        return Sort(child, self.keys)
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        return set(self.child.known_dependencies(catalog))
+
+    def guaranteed_attributes(self) -> AttributeSet:
+        return self.child.guaranteed_attributes()
+
+    def established_equalities(self) -> Dict[str, object]:
+        return self.child.established_equalities()
+
+    def _label(self) -> str:
+        return "sort[{}]".format(", ".join(repr(key) for key in self.keys))
+
+
+class Limit(Expression):
+    """``λ_k(E)`` — the ``k`` smallest tuples of ``E``.
+
+    Under a :class:`Sort` child the sort's keys define "smallest"; otherwise
+    the canonical whole-tuple order does, which keeps the result deterministic
+    across engines.  The result is a subset of the input, so dependencies,
+    guarantees and equalities all pass through.
+    """
+
+    operator = "limit"
+
+    def __init__(self, child: Expression, count: int):
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            raise AlgebraError("limit needs a non-negative integer count")
+        self.child = child
+        self.count = count
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Expression]) -> "Limit":
+        (child,) = children
+        return Limit(child, self.count)
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        return set(self.child.known_dependencies(catalog))
+
+    def guaranteed_attributes(self) -> AttributeSet:
+        return self.child.guaranteed_attributes()
+
+    def established_equalities(self) -> Dict[str, object]:
+        return self.child.established_equalities()
+
+    def _label(self) -> str:
+        return "limit[{}]".format(self.count)
+
+
+class SubqueryExtension(Expression):
+    """``ε_{A:(Q)}(E)`` — extend every tuple by the scalar result of a subquery.
+
+    ``Q`` must produce at most one tuple with exactly one attribute; its value
+    (whatever the attribute is called) becomes ``A``.  An *empty* subquery
+    result leaves the input untouched — ``A`` stays absent, the
+    flexible-relation reading of a scalar NULL — which is why ``A`` is never a
+    guaranteed attribute.  More than one tuple (or a wider tuple) is an
+    :class:`~repro.errors.AlgebraError`.
+    """
+
+    operator = "subquery-extend"
+
+    def __init__(self, child: Expression, attribute, subquery: Expression):
+        self.child = child
+        attribute_set = attrset(attribute)
+        if len(attribute_set) != 1:
+            raise AlgebraError("the subquery extension adds exactly one attribute")
+        self.attribute = next(iter(attribute_set)).name
+        self.subquery = subquery
+
+    @property
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.child, self.subquery)
+
+    def with_children(self, children: Sequence[Expression]) -> "SubqueryExtension":
+        child, subquery = children
+        return SubqueryExtension(child, self.attribute, subquery)
+
+    def known_dependencies(self, catalog=None) -> Set[Dependency]:
+        # Like Extension: tuples only grow (uniformly), so the child's hold.
+        return set(self.child.known_dependencies(catalog))
+
+    def guaranteed_attributes(self) -> AttributeSet:
+        return self.child.guaranteed_attributes()
+
+    def established_equalities(self) -> Dict[str, object]:
+        return self.child.established_equalities()
+
+    def _label(self) -> str:
+        return "subquery-extend[{}]".format(self.attribute)

@@ -609,6 +609,10 @@ class Database:
                 continue
             node_q = q_error(node.estimated_rows, op_stats.rows_out)
             registry.max_gauge("qerror." + node.name).observe(node_q)
+            if "aggregate" in node.name:
+                # rows folded through γ nodes; the paired qerror gauge above is
+                # the group-count estimation quality signal for the same node
+                registry.counter("rows.aggregated").add(op_stats.rows_in)
             if op_stats.peak_bytes:
                 registry.max_gauge("memory." + node.name).observe(
                     op_stats.peak_bytes)

@@ -27,6 +27,7 @@ produce identical results.
 """
 
 from repro.exec.compiled import (
+    CompiledAggregates,
     CompiledExtension,
     CompiledGuard,
     CompiledPredicate,
@@ -49,6 +50,7 @@ from repro.exec.vectorized import (
     BatchExtension,
     BatchFilter,
     BatchGuard,
+    BatchHashAggregate,
     BatchHashJoin,
     BatchIndexLookupJoin,
     BatchMergeUnion,
@@ -58,6 +60,9 @@ from repro.exec.vectorized import (
     BatchProject,
     BatchRename,
     BatchScan,
+    BatchSort,
+    BatchSubqueryExtend,
+    BatchTopK,
 )
 from repro.exec.operators import (
     DifferenceOp,
@@ -65,6 +70,7 @@ from repro.exec.operators import (
     ExtendOp,
     FilterOp,
     GuardOp,
+    HashAggregateOp,
     HashJoin,
     IndexLookupJoin,
     MergeUnion,
@@ -76,6 +82,9 @@ from repro.exec.operators import (
     ProjectOp,
     RenameOp,
     Scan,
+    SortOp,
+    SubqueryExtendOp,
+    TopKOp,
 )
 from repro.exec.planner import (
     PhysicalPlan,
@@ -96,6 +105,7 @@ __all__ = [
     "BatchExtension",
     "BatchFilter",
     "BatchGuard",
+    "BatchHashAggregate",
     "BatchHashJoin",
     "BatchIndexLookupJoin",
     "BatchMergeUnion",
@@ -105,6 +115,10 @@ __all__ = [
     "BatchProject",
     "BatchRename",
     "BatchScan",
+    "BatchSort",
+    "BatchSubqueryExtend",
+    "BatchTopK",
+    "CompiledAggregates",
     "CompiledExtension",
     "CompiledGuard",
     "CompiledPredicate",
@@ -129,6 +143,10 @@ __all__ = [
     "OuterUnionOp",
     "DifferenceOp",
     "MultiwayJoinOp",
+    "HashAggregateOp",
+    "SortOp",
+    "TopKOp",
+    "SubqueryExtendOp",
     "PhysicalPlan",
     "PhysicalPlanner",
     "PhysicalResult",

@@ -29,8 +29,10 @@ plan can express.
 
 from __future__ import annotations
 
+from math import fsum
 from typing import Callable, List, Optional, Sequence
 
+from repro.algebra.analytic import _check_numeric, group_values, value_order_key
 from repro.algebra.predicates import (
     _OPERATORS,
     And,
@@ -280,6 +282,236 @@ class CompiledRename:
 
     def __repr__(self) -> str:
         return "CompiledRename({})".format(self.mapping)
+
+
+class _CountStarColumns:
+    """count() — answered entirely by the shared per-group row counts."""
+
+    __slots__ = ()
+
+    def grow(self) -> None:
+        pass
+
+    def update(self, gids, batch) -> None:
+        pass
+
+    def finalize(self, gid: int, sizes):
+        return sizes[gid]
+
+
+class _CountAttrColumns:
+    """count(a) — present and non-NULL rows per group, one column pass."""
+
+    __slots__ = ("attribute", "counts")
+
+    def __init__(self, attribute: str):
+        self.attribute = attribute
+        self.counts: List[int] = []
+
+    def grow(self) -> None:
+        self.counts.append(0)
+
+    def update(self, gids, batch) -> None:
+        counts = self.counts
+        for gid, value in zip(gids, batch.column(self.attribute)):
+            if value is not MISSING and value is not None:
+                counts[gid] += 1
+
+    def finalize(self, gid: int, sizes):
+        return self.counts[gid]
+
+
+class _SumColumns:
+    """sum/avg — exact integer totals plus collected floats per group.
+
+    Floats are summed once at finalize time with :func:`math.fsum`, so the
+    result does not depend on the order rows arrived in — the property that
+    keeps the three engines bit-identical on float columns.
+    """
+
+    __slots__ = ("func", "attribute", "totals", "floats", "non_null", "seen")
+
+    def __init__(self, func: str, attribute: str):
+        self.func = func
+        self.attribute = attribute
+        self.totals: List[int] = []
+        self.floats: List[List[float]] = []
+        self.non_null: List[int] = []
+        self.seen: List[bool] = []
+
+    def grow(self) -> None:
+        self.totals.append(0)
+        self.floats.append([])
+        self.non_null.append(0)
+        self.seen.append(False)
+
+    def update(self, gids, batch) -> None:
+        totals, floats = self.totals, self.floats
+        non_null, seen = self.non_null, self.seen
+        for gid, value in zip(gids, batch.column(self.attribute)):
+            if value is MISSING:
+                continue
+            seen[gid] = True
+            if value is None:
+                continue
+            cls = value.__class__
+            if cls is int:
+                totals[gid] += value
+            elif cls is float:
+                floats[gid].append(value)
+            else:
+                _check_numeric(self.func, self.attribute, value)
+                if isinstance(value, float):
+                    floats[gid].append(value)
+                else:
+                    totals[gid] += value
+            non_null[gid] += 1
+
+    def finalize(self, gid: int, sizes):
+        if not self.seen[gid]:
+            return MISSING
+        count = self.non_null[gid]
+        if not count:
+            return None
+        total = self.totals[gid]
+        parts = self.floats[gid]
+        if parts:
+            total = total + fsum(parts)
+        return total / count if self.func == "avg" else total
+
+
+class _MinMaxColumns:
+    """min/max — best value per group under the cross-type total order."""
+
+    __slots__ = ("attribute", "minimum", "best", "best_keys", "seen")
+
+    def __init__(self, func: str, attribute: str):
+        self.attribute = attribute
+        self.minimum = func == "min"
+        self.best: List[object] = []
+        self.best_keys: List[object] = []
+        self.seen: List[bool] = []
+
+    def grow(self) -> None:
+        self.best.append(None)
+        self.best_keys.append(None)
+        self.seen.append(False)
+
+    def update(self, gids, batch) -> None:
+        best, best_keys, seen = self.best, self.best_keys, self.seen
+        minimum = self.minimum
+        for gid, value in zip(gids, batch.column(self.attribute)):
+            if value is MISSING:
+                continue
+            seen[gid] = True
+            if value is None:
+                continue
+            order = value_order_key(value)
+            current = best_keys[gid]
+            if current is None or (order < current if minimum else order > current):
+                best[gid] = value
+                best_keys[gid] = order
+        return
+
+    def finalize(self, gid: int, sizes):
+        if not self.seen[gid]:
+            return MISSING
+        if self.best_keys[gid] is None:
+            return None
+        return self.best[gid]
+
+
+class CompiledAggregates:
+    """γ compiled to batch column-wise accumulation.
+
+    Per input batch: one pass assigns every row a dense group id (single-key
+    groups probe the raw column, multi-key groups a zipped key tuple — absent
+    stays the ``MISSING`` sentinel, which *is* the ⊥ routing), then each
+    aggregate spec runs one tight loop over ``(group ids × its column)`` into
+    parallel per-group state arrays.  Semantics are exactly those of
+    :class:`~repro.algebra.analytic.AggregateAccumulator`; only the bookkeeping
+    is column-at-a-time.
+    """
+
+    __slots__ = ("group_names", "specs", "key_to_gid", "sizes", "_columns")
+
+    def __init__(self, group_by, specs):
+        self.group_names = list(group_by)
+        self.specs = list(specs)
+        self.key_to_gid: dict = {}
+        #: rows per group — the shared denominator count() reads
+        self.sizes: List[int] = []
+        self._columns = [self._compile_spec(spec) for spec in self.specs]
+
+    @staticmethod
+    def _compile_spec(spec):
+        if spec.func == "count":
+            if spec.attribute is None:
+                return _CountStarColumns()
+            return _CountAttrColumns(spec.attribute)
+        if spec.func in ("sum", "avg"):
+            return _SumColumns(spec.func, spec.attribute)
+        return _MinMaxColumns(spec.func, spec.attribute)
+
+    def _grow(self, key) -> int:
+        gid = len(self.sizes)
+        self.key_to_gid[key] = gid
+        self.sizes.append(0)
+        for column in self._columns:
+            column.grow()
+        return gid
+
+    def update(self, batch: TupleBatch) -> None:
+        count = len(batch)
+        if not count:
+            return
+        names = self.group_names
+        sizes = self.sizes
+        if not names:
+            if not sizes:
+                self._grow(())
+            sizes[0] += count
+            gids: Sequence[int] = [0] * count
+        else:
+            if len(names) == 1:
+                keys = batch.column(names[0])
+            else:
+                keys = list(zip(*(batch.column(name) for name in names)))
+            get = self.key_to_gid.get
+            gids = []
+            append = gids.append
+            for key in keys:
+                gid = get(key)
+                if gid is None:
+                    gid = self._grow(key)
+                sizes[gid] += 1
+                append(gid)
+        for column in self._columns:
+            column.update(gids, batch)
+
+    def results(self) -> List[dict]:
+        """One output value dict per group (⊥ keys and absent outputs omitted,
+        empty dicts dropped) — ready for a :class:`LazyBatch`."""
+        names = self.group_names
+        sizes = self.sizes
+        if not sizes and not names:
+            row = {spec.output: 0 for spec in self.specs if spec.func == "count"}
+            return [row] if row else []
+        pairs = list(zip(self.specs, self._columns))
+        out = []
+        for key, gid in self.key_to_gid.items():
+            row = group_values(key, names)
+            for spec, column in pairs:
+                value = column.finalize(gid, sizes)
+                if value is not MISSING:
+                    row[spec.output] = value
+            if row:
+                out.append(row)
+        return out
+
+    def __repr__(self) -> str:
+        return "CompiledAggregates(group={}, specs={})".format(
+            self.group_names, self.specs)
 
 
 class CompiledGuard:

@@ -38,6 +38,15 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.algebra.analytic import (
+    AggregateAccumulator,
+    AggregateSpec,
+    SortKey,
+    group_key,
+    group_values,
+    row_order_key,
+    top_k_rows,
+)
 from repro.algebra.evaluator import _resolve_relation
 from repro.algebra.predicates import Predicate
 from repro.errors import AlgebraError
@@ -801,3 +810,238 @@ class MultiwayJoinOp(PhysicalOperator):
             current = merged
             op.note_memory(sampled_size(current))
         return self._rebatch(ctx, op, iter(current))
+
+
+def _analytic_label(name: str, parts: Sequence[str]) -> str:
+    return "{}[{}]".format(name, ", ".join(parts))
+
+
+class HashAggregateOp(PhysicalOperator):
+    """γ — streaming hash aggregation with variant-aware ⊥-group routing.
+
+    Consumes its input batch by batch, keeping only one accumulator state per
+    group (the held state, not the input, is what ``peak_bytes`` accounts).
+    Grouping keys, the NULL-vs-absent aggregate matrix and the output shape are
+    the shared semantics of :mod:`repro.algebra.analytic` — identical to the
+    naive evaluator by construction.  Group outputs are pairwise distinct, so
+    no output-side deduplication is needed.
+    """
+
+    name = "hash-aggregate"
+
+    def __init__(self, child: PhysicalOperator, group_by: Sequence[str],
+                 specs: Sequence[AggregateSpec]):
+        self.child = child
+        self.group_by = tuple(group_by)
+        self.specs = tuple(specs)
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        parts = []
+        if self.group_by:
+            parts.append("group=[{}]".format(", ".join(self.group_by)))
+        parts.extend(repr(spec) for spec in self.specs)
+        return _analytic_label(self.name, parts)
+
+    def _generate(self, ctx, op, child):
+        op.invocations += 1
+        accumulator = AggregateAccumulator(self.specs)
+        names = self.group_by
+        groups: Dict[object, List] = {}
+        for batch in child:
+            count = len(batch)
+            op.rows_in += count
+            ctx.stats.tuples_scanned += count
+            for tup in batch:
+                values = tup._values
+                key = group_key(values, names)
+                states = groups.get(key)
+                if states is None:
+                    states = groups[key] = accumulator.new_state()
+                accumulator.update(states, values)
+        op.note_memory(sampled_size(groups))
+        return self._rebatch(ctx, op, self._finalize(accumulator, groups))
+
+    def _finalize(self, accumulator: AggregateAccumulator,
+                  groups: Dict[object, List]) -> Iterator[FlexTuple]:
+        if not groups and not self.group_by:
+            out = accumulator.empty_result()
+            if out:
+                yield FlexTuple(out)
+            return
+        for key, states in groups.items():
+            out = group_values(key, self.group_by)
+            out.update(accumulator.finalize(states))
+            if out:
+                yield FlexTuple(out)
+
+
+class SortOp(PhysicalOperator):
+    """τ — full sort with bounded-materialization accounting.
+
+    The input is a set, so the sort itself is result-identity; the operator
+    exists as the full-materialization form of ``limit`` lowering (``limit``
+    set) and as the physical counterpart of an order annotation.  It holds the
+    *entire* input (``note_memory`` of the materialized list — the contrast to
+    :class:`TopKOp`'s bounded heap that E18 asserts on ``peak_bytes``).
+    """
+
+    name = "sort"
+
+    def __init__(self, child: PhysicalOperator, keys: Sequence[SortKey] = (),
+                 limit: Optional[int] = None):
+        self.child = child
+        self.keys = tuple(keys)
+        self.limit = limit
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        parts = [repr(key) for key in self.keys]
+        if self.limit is not None:
+            parts.append("limit={}".format(self.limit))
+        return _analytic_label(self.name, parts)
+
+    def _generate(self, ctx, op, child):
+        op.invocations += 1
+        rows: List[FlexTuple] = []
+        for batch in child:
+            count = len(batch)
+            op.rows_in += count
+            ctx.stats.tuples_scanned += count
+            rows.extend(batch)
+        op.note_memory(sampled_size(rows))
+        keys = self.keys
+        rows.sort(key=lambda tup: row_order_key(tup._values, keys))
+        if self.limit is not None:
+            rows = rows[:self.limit]
+        return self._rebatch(ctx, op, iter(rows))
+
+
+class TopKOp(PhysicalOperator):
+    """λ∘τ — heap-based top-k: the ``count`` smallest rows under ``keys``.
+
+    The fused physical form of ``Limit(Sort(E))`` (and of a bare ``Limit``,
+    with empty keys meaning the canonical tuple order).  The input streams
+    through ``heapq.nsmallest`` — at most ``count`` rows are ever held, which
+    is the bounded-memory contrast to :class:`SortOp` that ``peak_bytes``
+    records.
+    """
+
+    name = "top-k"
+
+    def __init__(self, child: PhysicalOperator, keys: Sequence[SortKey],
+                 count: int):
+        self.child = child
+        self.keys = tuple(keys)
+        self.count = count
+
+    @property
+    def children(self):
+        return (self.child,)
+
+    def label(self) -> str:
+        parts = [repr(key) for key in self.keys]
+        parts.append("k={}".format(self.count))
+        return _analytic_label(self.name, parts)
+
+    def _generate(self, ctx, op, child):
+        op.invocations += 1
+
+        def rows() -> Iterator[FlexTuple]:
+            for batch in child:
+                count = len(batch)
+                op.rows_in += count
+                ctx.stats.tuples_scanned += count
+                for tup in batch:
+                    yield tup
+
+        best = top_k_rows(rows(), self.count, self.keys,
+                          key_of=lambda tup: tup._values)
+        op.note_memory(sampled_size(best))
+        return self._rebatch(ctx, op, iter(best))
+
+
+#: sentinel for "the scalar subquery produced no row — extend nothing"
+_NO_VALUE = object()
+
+
+class SubqueryExtendOp(PhysicalOperator):
+    """ε — extend every tuple by the scalar result of a subquery plan.
+
+    The child is drained completely *before* the subquery runs and its arity
+    is checked, so the order in which errors surface (child errors, then
+    subquery errors, then the scalar arity check, then per-tuple extension
+    conflicts) matches the naive evaluator exactly — the property the
+    differential fuzz harness leans on.  ``run`` is custom for the same
+    reason: the base implementation would start both children before any
+    stream is drained.
+    """
+
+    name = "subquery-extend"
+
+    def __init__(self, child: PhysicalOperator, attribute: str,
+                 subquery: PhysicalOperator):
+        self.child = child
+        self.attribute = attribute
+        self.subquery = subquery
+
+    @property
+    def children(self):
+        return (self.child, self.subquery)
+
+    def label(self) -> str:
+        return "{}[{}]".format(self.name, self.attribute)
+
+    def run(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        ctx.stats.record_operator(self.name)
+        op_stats = ctx.register_operator(self.label())
+        if not ctx.timing:
+            return self._start(ctx, op_stats)
+        started = perf_counter()
+        stream = self._start(ctx, op_stats)
+        op_stats.wall_seconds += perf_counter() - started
+        return self._timed_stream(op_stats, stream)
+
+    def _start(self, ctx, op):
+        op.invocations += 1
+        batches = []
+        for batch in self.child.run(ctx):
+            op.rows_in += len(batch)
+            batches.append(batch)
+        op.note_memory(sampled_size(batches))
+        value = self._scalar_value(ctx, op)
+        return self._emit(ctx, op, batches, value)
+
+    def _scalar_value(self, ctx, op):
+        result = self._materialize(op, self.subquery.run(ctx))
+        if not result:
+            return _NO_VALUE
+        if len(result) > 1:
+            raise AlgebraError(
+                "scalar subquery for {!r} produced {} tuples".format(
+                    self.attribute, len(result)))
+        (row,) = result
+        if len(row) != 1:
+            raise AlgebraError(
+                "scalar subquery for {!r} produced a tuple with {} attributes".format(
+                    self.attribute, len(row)))
+        (value,) = row._values.values()
+        return value
+
+    def _emit(self, ctx, op, batches, value):
+        def emit():
+            for batch in batches:
+                for tup in batch:
+                    ctx.stats.tuples_scanned += 1
+                    if value is _NO_VALUE:
+                        yield tup
+                    else:
+                        yield tup.extend(**{self.attribute: value})
+
+        return self._rebatch(ctx, op, emit())

@@ -59,15 +59,18 @@ which — combined with the engine's catalog version — keys the plan cache in
 
 from __future__ import annotations
 
+from math import log2
 from time import perf_counter
 from typing import Optional, Tuple
 
 from repro.algebra.evaluator import EvaluationResult, ExecutionStats
 from repro.algebra.expressions import (
+    Aggregate,
     Difference,
     EmptyRelation,
     Expression,
     Extension,
+    Limit,
     MultiwayJoin,
     NaturalJoin,
     OuterUnion,
@@ -76,6 +79,8 @@ from repro.algebra.expressions import (
     RelationRef,
     Rename,
     Selection,
+    Sort,
+    SubqueryExtension,
     TypeGuardNode,
     Union,
 )
@@ -92,6 +97,7 @@ from repro.exec.operators import (
     ExtendOp,
     FilterOp,
     GuardOp,
+    HashAggregateOp,
     HashJoin,
     IndexLookupJoin,
     MergeUnion,
@@ -103,6 +109,9 @@ from repro.exec.operators import (
     ProjectOp,
     RenameOp,
     Scan,
+    SortOp,
+    SubqueryExtendOp,
+    TopKOp,
 )
 from repro.exec.vectorized import (
     BatchDifference,
@@ -110,6 +119,7 @@ from repro.exec.vectorized import (
     BatchExtension,
     BatchFilter,
     BatchGuard,
+    BatchHashAggregate,
     BatchHashJoin,
     BatchIndexLookupJoin,
     BatchMergeUnion,
@@ -119,6 +129,9 @@ from repro.exec.vectorized import (
     BatchProject,
     BatchRename,
     BatchScan,
+    BatchSort,
+    BatchSubqueryExtend,
+    BatchTopK,
 )
 from repro.obs.feedback import expression_key, referenced_tables
 from repro.obs.trace import NOOP_SPAN, tracer_of
@@ -142,6 +155,11 @@ BATCH_FORMS = ("all", "core")
 
 #: estimated cost of one index probe relative to reading one tuple in a scan
 INDEX_PROBE_COST_FACTOR = 2.0
+
+#: comparisons per input row of the top-k heap relative to a full sort's merge
+#: pass — a heap sift pays ~2 comparisons per level where the sort pays one,
+#: so the heap wins only while k² ≲ n (the classical nsmallest crossover)
+TOPK_HEAP_FACTOR = 2.0
 
 
 class PhysicalResult(EvaluationResult):
@@ -440,10 +458,52 @@ class PhysicalPlanner:
             multiway = BatchMultiwayJoin if full else MultiwayJoinOp
             return multiway([self._lower(child) for child in [master] + fragments],
                             expression.on)
+        if isinstance(expression, Aggregate):
+            aggregate = BatchHashAggregate if full else HashAggregateOp
+            return aggregate(self._lower(expression.child), expression.group_by,
+                             expression.specs)
+        if isinstance(expression, Sort):
+            sort = BatchSort if full else SortOp
+            return sort(self._lower(expression.child), expression.keys)
+        if isinstance(expression, Limit):
+            return self._lower_limit(expression, full)
+        if isinstance(expression, SubqueryExtension):
+            extend = BatchSubqueryExtend if full else SubqueryExtendOp
+            return extend(self._lower(expression.child), expression.attribute,
+                          self._lower(expression.subquery))
         if isinstance(expression, NaturalJoin):
             ordered = self._search_join_order(expression)
             return self._lower_join(expression if ordered is None else ordered)
         raise OptimizerError("cannot lower expression node {!r}".format(expression))
+
+    def _lower_limit(self, expression: Limit, full: bool) -> PhysicalOperator:
+        """λ, fused with a child τ when present: heap vs full-sort pricing.
+
+        ``Limit(Sort(E), k)`` lowers to a single physical operator over ``E``
+        (a bare ``Limit`` is the same with the canonical tuple order).  The
+        heap holds ``k`` rows and pays ``~2·n·log2(k)`` comparisons (sift
+        cost); the sort materializes everything for ``n·log2(n)`` — the
+        estimated input cardinality decides, so a ``k`` beyond ``√n`` falls
+        back to the sort-with-cutoff form and a small ``k`` gets the
+        bounded-memory heap.
+        """
+        child_expr = expression.child
+        if isinstance(child_expr, Sort):
+            keys = child_expr.keys
+            input_expr = child_expr.child
+        else:
+            keys = ()
+            input_expr = child_expr
+        k = expression.count
+        n = max(self._estimate(input_expr).cardinality, 1.0)
+        heap_cost = n * log2(max(k, 2)) * TOPK_HEAP_FACTOR
+        sort_cost = n * log2(max(n, 2))
+        child = self._lower(input_expr)
+        if heap_cost <= sort_cost:
+            top_k = BatchTopK if full else TopKOp
+            return top_k(child, keys, k)
+        sort = BatchSort if full else SortOp
+        return sort(child, keys, limit=k)
 
     def _search_join_order(self, expression: NaturalJoin) -> Optional[NaturalJoin]:
         """Run the join-order search on an n-way NaturalJoin tree, if enabled.

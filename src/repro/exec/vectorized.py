@@ -40,7 +40,16 @@ at a time:
   plain batches of already-built tuples (scans) whose cached hashes make that
   the cheapest exact check, so a *lazy* input batch is materialized there —
   laziness survives through filters, guards, projections, reshapes and further
-  joins, not through union/difference dedup.
+  joins, not through union/difference dedup;
+* the analytic operators have batch forms as well: :class:`BatchHashAggregate`
+  accumulates column-wise through
+  :class:`~repro.exec.compiled.CompiledAggregates` (bulk column reads per
+  spec, presence handled via the value dicts' key sets),
+  :class:`BatchSort` / :class:`BatchTopK` sort or heap-select ``(values,
+  hash)`` pairs so result tuples rebuild with their hashes precomputed, and
+  :class:`BatchSubqueryExtend` extends whole batches through a
+  :class:`~repro.exec.compiled.CompiledExtension` built once from the scalar
+  subquery's value.
 
 The only remaining row fallbacks are the natural join whose attribute set is
 data-dependent (``on=None`` — both sides must be materialized to discover the
@@ -55,18 +64,22 @@ from typing import Dict, Iterator, List
 from repro.algebra.evaluator import _resolve_relation
 from repro.errors import AlgebraError
 from repro.exec.context import sampled_size
+from repro.algebra.analytic import row_order_key, top_k_rows
 from repro.exec.compiled import (
+    CompiledAggregates,
     CompiledExtension,
     CompiledGuard,
     CompiledPredicate,
     CompiledRename,
 )
 from repro.exec.operators import (
+    _NO_VALUE,
     DifferenceOp,
     EmptyOp,
     ExtendOp,
     FilterOp,
     GuardOp,
+    HashAggregateOp,
     HashJoin,
     IndexLookupJoin,
     MergeUnion,
@@ -76,6 +89,9 @@ from repro.exec.operators import (
     ProjectOp,
     RenameOp,
     Scan,
+    SortOp,
+    SubqueryExtendOp,
+    TopKOp,
 )
 from repro.model.batches import LazyBatch, MISSING, TupleBatch, merge_values
 from repro.model.tuples import FlexTuple
@@ -726,5 +742,147 @@ class BatchMultiwayJoin(MultiwayJoinOp):
                 op.batches_out += 1
                 yield LazyBatch(chunk_values,
                                 current_hashes[start:start + size])
+
+        return emit()
+
+
+class BatchHashAggregate(HashAggregateOp):
+    """γ over batches: group ids and aggregate states updated column-at-a-time.
+
+    Every input batch makes one key-extraction pass (group columns) and then
+    one tight loop per aggregate spec over ``(group ids × spec column)`` — see
+    :class:`~repro.exec.compiled.CompiledAggregates`.  Outputs are value dicts
+    (group outputs are pairwise distinct, so no hashes or dedup are needed)
+    emitted as :class:`LazyBatch` chunks.
+    """
+
+    name = "batch-hash-aggregate"
+    vectorized = True
+
+    def _generate(self, ctx, op, child) -> Iterator[TupleBatch]:
+        op.invocations += 1
+        compiled = CompiledAggregates(self.group_by, self.specs)
+        stats = ctx.stats
+        for raw in child:
+            batch = TupleBatch.of(raw)
+            count = len(batch)
+            op.rows_in += count
+            stats.tuples_scanned += count
+            compiled.update(batch)
+        op.note_memory(sampled_size(compiled.key_to_gid)
+                       + sampled_size(compiled.sizes))
+        out_values = compiled.results()
+
+        def emit() -> Iterator[TupleBatch]:
+            size = ctx.batch_size
+            for start in range(0, len(out_values), size):
+                chunk = out_values[start:start + size]
+                op.rows_out += len(chunk)
+                op.batches_out += 1
+                yield LazyBatch(chunk)
+
+        return emit()
+
+
+class BatchSort(SortOp):
+    """τ over batches: drained into parallel (values, hash) pairs, sorted on
+    the shared :func:`row_order_key`, re-emitted lazily.  Like the row form it
+    holds the entire input — the full-materialization ``peak_bytes`` contrast
+    to :class:`BatchTopK`."""
+
+    name = "batch-sort"
+    vectorized = True
+
+    def _generate(self, ctx, op, child) -> Iterator[TupleBatch]:
+        op.invocations += 1
+        stats = ctx.stats
+        pairs: List[tuple] = []
+        extend = pairs.extend
+        for raw in child:
+            batch = TupleBatch.of(raw)
+            count = len(batch)
+            op.rows_in += count
+            stats.tuples_scanned += count
+            extend(zip(batch.values_list(), batch.hashes_list()))
+        op.note_memory(sampled_size(pairs))
+        keys = self.keys
+        pairs.sort(key=lambda pair: row_order_key(pair[0], keys))
+        if self.limit is not None:
+            del pairs[self.limit:]
+
+        def emit() -> Iterator[TupleBatch]:
+            size = ctx.batch_size
+            for start in range(0, len(pairs), size):
+                chunk = pairs[start:start + size]
+                op.rows_out += len(chunk)
+                op.batches_out += 1
+                yield LazyBatch([pair[0] for pair in chunk],
+                                [pair[1] for pair in chunk])
+
+        return emit()
+
+
+class BatchTopK(TopKOp):
+    """λ∘τ over batches: the input streams through ``heapq.nsmallest`` as
+    (values, hash) pairs — at most ``count`` pairs held, same bounded
+    ``peak_bytes`` guarantee as the row form."""
+
+    name = "batch-top-k"
+    vectorized = True
+
+    def _generate(self, ctx, op, child) -> Iterator[TupleBatch]:
+        op.invocations += 1
+        stats = ctx.stats
+
+        def pairs() -> Iterator[tuple]:
+            for raw in child:
+                batch = TupleBatch.of(raw)
+                count = len(batch)
+                op.rows_in += count
+                stats.tuples_scanned += count
+                yield from zip(batch.values_list(), batch.hashes_list())
+
+        best = top_k_rows(pairs(), self.count, self.keys,
+                          key_of=lambda pair: pair[0])
+        op.note_memory(sampled_size(best))
+
+        def emit() -> Iterator[TupleBatch]:
+            size = ctx.batch_size
+            for start in range(0, len(best), size):
+                chunk = best[start:start + size]
+                op.rows_out += len(chunk)
+                op.batches_out += 1
+                yield LazyBatch([pair[0] for pair in chunk],
+                                [pair[1] for pair in chunk])
+
+        return emit()
+
+
+class BatchSubqueryExtend(SubqueryExtendOp):
+    """ε (scalar subquery) over batches: the drain-child-then-subquery error
+    ordering is inherited from the row operator; only the final extension pass
+    is batch-wise — one presence test per batch, extended value dicts out."""
+
+    name = "batch-subquery-extend"
+    vectorized = True
+
+    def _emit(self, ctx, op, batches, value) -> Iterator[TupleBatch]:
+        compiled = (None if value is _NO_VALUE
+                    else CompiledExtension(self.attribute, value))
+
+        def emit() -> Iterator[TupleBatch]:
+            stats = ctx.stats
+            for raw in batches:
+                batch = TupleBatch.of(raw)
+                count = len(batch)
+                if not count:
+                    continue
+                stats.tuples_scanned += count
+                op.rows_out += count
+                op.batches_out += 1
+                if compiled is None:
+                    yield batch
+                else:
+                    yield LazyBatch(compiled.transform(batch))
 
         return emit()

@@ -39,15 +39,19 @@ from collections import OrderedDict
 from typing import Optional, Tuple
 
 from ..algebra.expressions import (
+    Aggregate,
     EmptyRelation,
     Expression,
     Extension,
+    Limit,
     MultiwayJoin,
     NaturalJoin,
     Projection,
     RelationRef,
     Rename,
     Selection,
+    Sort,
+    SubqueryExtension,
     TypeGuardNode,
 )
 from ..model.attributes import attrset
@@ -105,6 +109,22 @@ def expression_key(expression: Expression) -> Tuple:
     if isinstance(expression, MultiwayJoin):
         return ("multiway-join", str(expression.on),
                 tuple(expression_key(child) for child in expression.inputs))
+    if isinstance(expression, Aggregate):
+        # Group-by order is semantically irrelevant, so sorting it lets
+        # permuted spellings share one plan (the spec order is kept — it only
+        # costs a cache miss, never a wrong reuse).
+        return ("aggregate", tuple(sorted(expression.group_by)),
+                tuple(spec.key() for spec in expression.specs),
+                expression_key(expression.child))
+    if isinstance(expression, Sort):
+        return ("sort", tuple(key.key() for key in expression.keys),
+                expression_key(expression.child))
+    if isinstance(expression, Limit):
+        return ("limit", expression.count, expression_key(expression.child))
+    if isinstance(expression, SubqueryExtension):
+        return ("subquery-extend", expression.attribute,
+                expression_key(expression.child),
+                expression_key(expression.subquery))
     # Product / Union / OuterUnion / Difference carry no payload beyond their
     # operator name and children; unknown nodes degrade to the same shape.
     return ((expression.operator,)

@@ -16,6 +16,12 @@ fixpoint and reports what it did.
 """
 
 from repro.optimizer.analysis import guaranteed_present, guaranteed_absent
+from repro.optimizer.analytic_rules import (
+    eliminate_noop_sorts,
+    push_aggregate_into_unions,
+    push_aggregate_past_rename,
+    push_limit_into_unions,
+)
 from repro.optimizer.rewrite_rules import (
     RewriteReport,
     eliminate_contradictory_selections,
@@ -44,7 +50,11 @@ __all__ = [
     "RewriteReport",
     "eliminate_redundant_guards",
     "eliminate_contradictory_selections",
+    "eliminate_noop_sorts",
     "prune_union_branches",
+    "push_aggregate_into_unions",
+    "push_aggregate_past_rename",
+    "push_limit_into_unions",
     "QualifiedRelation",
     "qualification_excludes",
     "estimate_cost",

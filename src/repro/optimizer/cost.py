@@ -54,14 +54,17 @@ constant reference lives in ``docs/ARCHITECTURE.md``.
 
 from __future__ import annotations
 
+from math import log2
 from typing import Dict, Optional
 
 from repro.algebra.evaluator import Evaluator, ExecutionStats
 from repro.algebra.expressions import (
+    Aggregate,
     Difference,
     EmptyRelation,
     Expression,
     Extension,
+    Limit,
     MultiwayJoin,
     NaturalJoin,
     Product,
@@ -69,6 +72,8 @@ from repro.algebra.expressions import (
     RelationRef,
     Rename,
     Selection,
+    Sort,
+    SubqueryExtension,
     TypeGuardNode,
     Union,
 )
@@ -90,6 +95,10 @@ DEFAULT_GUARD_SELECTIVITY = 0.8
 #: assumed average tuple width (attributes per tuple) when neither statistics
 #: nor a declared scheme can answer
 DEFAULT_TUPLE_WIDTH = 8.0
+
+#: default fraction of input tuples that form distinct groups when neither
+#: variant-tag frequencies nor NDVs are available to estimate a group count
+DEFAULT_GROUP_FRACTION = 0.1
 
 #: relative per-tuple cost of interpreted (row-at-a-time) operator work
 ROW_TUPLE_COST = 1.0
@@ -295,7 +304,76 @@ class CostModel:
             right = self.estimate(expression.children[1], memo)
             return CostEstimate(left.cardinality, left.work + right.work + left.cardinality,
                                 bound=left.bound)
+        if isinstance(expression, Aggregate):
+            child = self.estimate(expression.child, memo)
+            bound = child.bound if expression.group_by else 1.0
+            groups = self._group_count(expression, child)
+            return CostEstimate(min(groups, bound),
+                                child.work + child.cardinality * self.tuple_cost,
+                                bound=bound)
+        if isinstance(expression, Sort):
+            child = self.estimate(expression.child, memo)
+            n = max(child.cardinality, 1.0)
+            return CostEstimate(child.cardinality,
+                                child.work + child.cardinality * log2(max(n, 2.0))
+                                * self.tuple_cost,
+                                bound=child.bound)
+        if isinstance(expression, Limit):
+            # The planner fuses Limit(Sort(E)) into one top-k operator, so
+            # price the fused pair off the sort's input: per input tuple the
+            # cheaper of a k-bounded heap push and a full-sort comparison.
+            k = float(expression.count)
+            inner = expression.child
+            base = self.estimate(inner.child if isinstance(inner, Sort) else inner,
+                                 memo)
+            n = max(base.cardinality, 1.0)
+            per_tuple = min(log2(max(k, 2.0)), log2(max(n, 2.0)))
+            return CostEstimate(min(k, base.cardinality),
+                                base.work + base.cardinality * per_tuple
+                                * self.tuple_cost,
+                                bound=min(k, base.bound))
+        if isinstance(expression, SubqueryExtension):
+            child = self.estimate(expression.child, memo)
+            subquery = self.estimate(expression.subquery, memo)
+            return CostEstimate(child.cardinality,
+                                child.work + subquery.work
+                                + child.cardinality * self.tuple_cost,
+                                bound=child.bound)
         raise OptimizerError("cannot estimate cost of {!r}".format(expression))
+
+    def _group_count(self, expression: Aggregate, child: CostEstimate) -> float:
+        """Estimated number of groups, from variant-tag frequencies and NDVs.
+
+        Flexible relations give a sharper estimate than the classic NDV
+        product: the variant-tag frequency table says which *subset* of the
+        group-by attributes each tuple actually carries, and tuples carrying
+        different subsets can never share a group (absent routes to ⊥ per
+        attribute).  So the estimate sums per presence-pattern: each pattern
+        contributes at most the NDV product over its *present* group
+        attributes (1 for the all-⊥ pattern), capped by the pattern's own row
+        count scaled to the estimated input cardinality.
+        """
+        names = expression.group_by
+        if not names:
+            return 1.0
+        statistics = self.base_statistics(expression.child)
+        if statistics is None or not statistics.row_count:
+            return max(1.0, child.cardinality * DEFAULT_GROUP_FRACTION)
+        fraction = min(1.0, child.cardinality / float(statistics.row_count))
+        group_set = set(names)
+        patterns: Dict[frozenset, int] = {}
+        for combination, count in statistics.variant_counts.items():
+            pattern = frozenset(combination) & group_set
+            patterns[pattern] = patterns.get(pattern, 0) + count
+        if not patterns:
+            return max(1.0, child.cardinality * DEFAULT_GROUP_FRACTION)
+        groups = 0.0
+        for pattern, count in patterns.items():
+            distinct = 1.0
+            for name in pattern:
+                distinct *= float(max(1, statistics.ndv(name)))
+            groups += min(count * fraction, distinct)
+        return max(1.0, min(groups, child.cardinality))
 
     def _chain_cardinality(self, expression: Expression) -> Optional[float]:
         """Statistics-based output cardinality of a selection/guard chain.
@@ -371,6 +449,12 @@ class CostModel:
             return max(self.estimate_width(child) for child in expression.children)
         if isinstance(expression, Difference):
             return self.estimate_width(expression.children[0])
+        if isinstance(expression, Aggregate):
+            return float(len(expression.group_by) + len(expression.specs))
+        if isinstance(expression, (Sort, Limit)):
+            return self.estimate_width(expression.child)
+        if isinstance(expression, SubqueryExtension):
+            return self.estimate_width(expression.child) + 1.0
         return DEFAULT_TUPLE_WIDTH
 
     def _declared_width(self, name: str) -> Optional[float]:

@@ -13,6 +13,12 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.algebra.expressions import Expression
 from repro.errors import OptimizerError
+from repro.optimizer.analytic_rules import (
+    eliminate_noop_sorts,
+    push_aggregate_into_unions,
+    push_aggregate_past_rename,
+    push_limit_into_unions,
+)
 from repro.optimizer.rewrite_rules import (
     RewriteReport,
     eliminate_contradictory_selections,
@@ -20,11 +26,16 @@ from repro.optimizer.rewrite_rules import (
     prune_union_branches,
 )
 
-#: the rewrite rules applied by default, in order
+#: the rewrite rules applied by default, in order — the AD rules first (they
+#: can empty whole subtrees the analytic rules would otherwise rearrange)
 DEFAULT_RULES: Tuple[Callable, ...] = (
     prune_union_branches,
     eliminate_contradictory_selections,
     eliminate_redundant_guards,
+    eliminate_noop_sorts,
+    push_limit_into_unions,
+    push_aggregate_into_unions,
+    push_aggregate_past_rename,
 )
 
 

@@ -12,7 +12,17 @@
 * :mod:`repro.workloads.generators` — random flexible schemes, explicit ADs and
   heterogeneous instances with controllable error rates, used for scaling sweeps and
   property-based testing.
+* :mod:`repro.workloads.analytics` — the Zipf-skewed orders workload (variant
+  attributes keyed on the sales channel, mixed int/float/NULL/absent amounts)
+  driving the aggregation and top-k experiments.
 """
+
+from repro.workloads.analytics import (
+    analytics_database,
+    generate_orders,
+    orders_domains,
+    orders_scheme,
+)
 
 from repro.workloads.employees import (
     EMPLOYEE_VARIANT_ATTRIBUTES,
@@ -64,4 +74,8 @@ __all__ = [
     "random_explicit_ad",
     "random_instance",
     "instance_for_dependency",
+    "analytics_database",
+    "generate_orders",
+    "orders_domains",
+    "orders_scheme",
 ]
