@@ -37,8 +37,12 @@ import sys
 #: protocol requires drags it toward 1.0x.
 #: e18's ratio is hash aggregation vs the naive sort-group reference (≥5x):
 #: a PR that slows the batch aggregation path drags it toward the gate.
+#: e19's ratio is the peak-memory reduction of the spilling hash aggregate
+#: under a quarter budget (≥2x): a PR that weakens spilling — coarser budget
+#: checks, bigger held partitions — drags it toward 1.0x.
 TRACKED_REPORTS = ("e12_vectorized_exec", "e14_full_batch", "e15_observability",
-                   "e16_feedback", "e17_durability", "e18_aggregation")
+                   "e16_feedback", "e17_durability", "e18_aggregation",
+                   "e19_governor")
 
 DEFAULT_TOLERANCE = 0.2
 

@@ -19,7 +19,14 @@ from repro.core.dependencies import Dependency
 from repro.engine.catalog import Catalog, TableDefinition
 from repro.engine.constraints import ConstraintChecker
 from repro.engine.indexes import HashIndex
-from repro.errors import CatalogError, ConstraintViolation
+from repro.errors import (
+    AdmissionRejected,
+    CatalogError,
+    ConstraintViolation,
+    MemoryBudgetExceeded,
+    QueryCancelled,
+    QueryTimeout,
+)
 from repro.exec.executor import PhysicalExecutor
 from repro.exec.planner import PhysicalPlan
 from repro.model.attributes import AttributeSet, attrset
@@ -261,6 +268,18 @@ class Database:
     :class:`~repro.obs.profiler.PlanWatchdog` flagging plan changes and
     latency regressions (capture a window with :meth:`profile`; export via
     :meth:`prometheus_metrics` / :meth:`metrics_snapshot`).
+
+    Resource governance (see :mod:`repro.governor`): ``query_timeout`` is the
+    database-wide default deadline in seconds for physical queries,
+    ``memory_budget`` the default per-query byte budget on held operator
+    state; ``spill=True`` lets the spill-capable operators (sort, hash
+    aggregate, static-key hash join) stay under the budget via CRC-framed
+    temp segments in ``spill_directory`` (system temp by default), while
+    ``spill=False`` turns a blown budget into an immediate
+    ``MemoryBudgetExceeded``.  Every per-query override on :meth:`execute`
+    wins over these defaults.  ``admission`` plugs in an
+    :class:`~repro.governor.admission.AdmissionController` that gates
+    physical queries before planning.
     """
 
     def __init__(self, enforce_constraints: bool = True,
@@ -273,7 +292,12 @@ class Database:
                  group_commit_max: int = 64,
                  checkpoint_every_bytes: Optional[int] = None,
                  wal_fsync: bool = True,
-                 wal_file_factory=None):
+                 wal_file_factory=None,
+                 query_timeout: Optional[float] = None,
+                 memory_budget: Optional[int] = None,
+                 spill: bool = True,
+                 spill_directory: Optional[str] = None,
+                 admission=None):
         self.catalog = Catalog()
         self.enforce_constraints = enforce_constraints
         self._tables: Dict[str, Table] = {}
@@ -305,6 +329,16 @@ class Database:
         self._active_profile: Optional[WorkloadProfile] = None
         #: True while recovery replays the log (mutations must not re-log)
         self._journal_suppressed = False
+        #: database-wide governance defaults (per-query arguments override)
+        self.query_timeout = query_timeout
+        self.memory_budget = memory_budget
+        self.spill = bool(spill)
+        self.spill_directory = spill_directory
+        #: the optional admission controller gating physical execution
+        self.admission = admission
+        if admission is not None and admission.registry is None:
+            admission.registry = self.metrics_registry
+        self._closed = False
         #: the durability manager of ``durable_path=...`` databases, else None
         self.durability = None
         if durable_path is not None:
@@ -501,9 +535,24 @@ class Database:
         return self.durability.checkpoint()
 
     def close(self) -> None:
-        """Flush and close the write-ahead log (no-op for in-memory databases)."""
+        """Release the durability layer; safe to call any number of times.
+
+        An open transaction is aborted (its abort record is appended best
+        effort; replay discards uncommitted work regardless), the write-ahead
+        log is flushed and closed, and a second ``close()`` is a no-op.
+        In-memory databases close trivially.  The in-memory tables stay
+        readable — only durability is relinquished.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self.durability is not None:
             self.durability.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
 
     # -- queries ------------------------------------------------------------------------------------------
 
@@ -520,7 +569,12 @@ class Database:
 
     def execute(self, expression: Expression, optimize: bool = False,
                 executor: str = "physical", mode: Optional[str] = None,
-                batch_size: Optional[int] = None) -> EvaluationResult:
+                batch_size: Optional[int] = None,
+                timeout: Optional[float] = None,
+                cancel_token=None,
+                memory_budget: Optional[int] = None,
+                spill: Optional[bool] = None,
+                query_class: str = "default") -> EvaluationResult:
         """Evaluate an algebra expression against the stored tables.
 
         ``executor`` selects the execution engine: ``"physical"`` (default) runs
@@ -533,16 +587,31 @@ class Database:
         ``None`` lets the planner size batches adaptively from the statistics.
         All paths produce identical result sets (enforced by the differential
         test suite).
+
+        Governance (physical executor only): ``timeout`` sets this query's
+        deadline in seconds (``QueryTimeout`` past it); ``cancel_token`` a
+        :class:`~repro.governor.cancel.CancelToken` another thread may fire
+        (``QueryCancelled``); ``memory_budget`` caps held operator state in
+        bytes, with ``spill`` deciding whether spill-capable operators go to
+        disk or the query fails fast (``None`` = the database default);
+        ``query_class`` names the admission/timeout class when an
+        :class:`~repro.governor.admission.AdmissionController` is attached.
         """
-        result, _report = self.execute_with_report(expression, optimize=optimize,
-                                                   executor=executor, mode=mode,
-                                                   batch_size=batch_size)
+        result, _report = self.execute_with_report(
+            expression, optimize=optimize, executor=executor, mode=mode,
+            batch_size=batch_size, timeout=timeout, cancel_token=cancel_token,
+            memory_budget=memory_budget, spill=spill, query_class=query_class)
         return result
 
     def execute_with_report(self, expression: Expression, optimize: bool = True,
                             executor: str = "physical",
                             mode: Optional[str] = None,
-                            batch_size: Optional[int] = None) -> Tuple[EvaluationResult, RewriteReport]:
+                            batch_size: Optional[int] = None,
+                            timeout: Optional[float] = None,
+                            cancel_token=None,
+                            memory_budget: Optional[int] = None,
+                            spill: Optional[bool] = None,
+                            query_class: str = "default") -> Tuple[EvaluationResult, RewriteReport]:
         """Evaluate an expression and also return the optimizer's rewrite report."""
         if executor not in ("physical", "naive"):
             raise CatalogError("unknown executor {!r}; use 'physical' or 'naive'".format(executor))
@@ -554,29 +623,131 @@ class Database:
                     planner = Planner(catalog=self)
                     expression, report = planner.optimize(expression)
             if executor == "physical":
-                _plan, result = self._run_physical(expression, vectorize, batch_size)
+                _plan, result = self._run_physical(
+                    expression, vectorize, batch_size, timeout=timeout,
+                    cancel_token=cancel_token, memory_budget=memory_budget,
+                    spill=spill, query_class=query_class)
                 return result, report
+            if (timeout is not None or cancel_token is not None
+                    or memory_budget is not None):
+                raise CatalogError(
+                    "timeout/cancel_token/memory_budget require the physical "
+                    "executor; the naive evaluator is ungoverned")
             evaluator = Evaluator(self)
             return evaluator.evaluate(expression), report
 
+    def _governor_for(self, timeout: Optional[float], cancel_token,
+                      memory_budget: Optional[int], spill: Optional[bool],
+                      query_class: str):
+        """The governor for one execution, or ``None`` when nothing bounds it
+        (the common case — ungoverned queries pay zero per-batch overhead).
+
+        Deadline precedence: the per-query ``timeout`` wins, then the
+        admission controller's class timeout, then the database default.
+        """
+        effective_timeout = timeout
+        if effective_timeout is None and self.admission is not None:
+            effective_timeout = self.admission.timeout_for(query_class)
+        if effective_timeout is None:
+            effective_timeout = self.query_timeout
+        effective_budget = (memory_budget if memory_budget is not None
+                            else self.memory_budget)
+        if (effective_timeout is None and cancel_token is None
+                and effective_budget is None):
+            return None
+        from repro.governor import QueryGovernor
+
+        return QueryGovernor(
+            cancel_token=cancel_token,
+            timeout=effective_timeout,
+            memory_budget=effective_budget,
+            spill=self.spill if spill is None else bool(spill),
+            spill_directory=self.spill_directory,
+            registry=self.metrics_registry)
+
     def _run_physical(self, expression: Expression, vectorize: Optional[bool],
-                      batch_size: Optional[int]):
+                      batch_size: Optional[int],
+                      timeout: Optional[float] = None,
+                      cancel_token=None,
+                      memory_budget: Optional[int] = None,
+                      spill: Optional[bool] = None,
+                      query_class: str = "default"):
         """Plan + execute through the physical layer, feeding the metrics.
 
         The shared tail of :meth:`execute_with_report` and
         :meth:`explain_analyze`: both must observe identical counters, spans
         and slow-query accounting, differing only in how they render.
+
+        Governed runs additionally admit through the controller (sheds raise
+        ``AdmissionRejected`` before any planning), thread a
+        :class:`~repro.governor.governor.QueryGovernor` into the operators,
+        and terminate with the taxonomy of :mod:`repro.errors` — every
+        termination lands in :meth:`_observe_termination` exactly once and
+        never in the success-path counters.
         """
-        executor = self.physical_executor
+        controller = self.admission
+        ticket = None
         started = perf_counter()
-        with self.tracer.span("plan"):
-            plan = executor.plan(expression, vectorize=vectorize,
-                                 batch_size=batch_size)
-        with self.tracer.span("execute", mode=plan.mode) as span:
-            result = plan.execute(self, use_indexes=executor.use_indexes)
-            span.set(rows=len(result.tuples))
+        if controller is not None:
+            try:
+                ticket = controller.admit(query_class)
+            except AdmissionRejected:
+                self._observe_termination("shed", expression, None,
+                                          perf_counter() - started)
+                raise
+        governor = self._governor_for(timeout, cancel_token, memory_budget,
+                                      spill, query_class)
+        executor = self.physical_executor
+        outcome = "success"
+        plan = None
+        try:
+            with self.tracer.span("plan"):
+                plan = executor.plan(expression, vectorize=vectorize,
+                                     batch_size=batch_size)
+            with self.tracer.span("execute", mode=plan.mode) as span:
+                result = plan.execute(self, use_indexes=executor.use_indexes,
+                                      governor=governor)
+                span.set(rows=len(result.tuples))
+        except QueryTimeout:
+            outcome = "timeout"
+            self._observe_termination(outcome, expression, plan,
+                                      perf_counter() - started)
+            raise
+        except QueryCancelled:
+            outcome = "cancelled"
+            self._observe_termination(outcome, expression, plan,
+                                      perf_counter() - started)
+            raise
+        except MemoryBudgetExceeded:
+            outcome = "memory_exceeded"
+            self._observe_termination(outcome, expression, plan,
+                                      perf_counter() - started)
+            raise
+        except Exception:
+            outcome = "error"
+            raise
+        finally:
+            if governor is not None:
+                governor.finish()
+            if ticket is not None:
+                # A client-initiated cancel is not the engine's failure; a
+                # timeout, blown budget or error feeds the circuit breaker.
+                controller.complete(
+                    ticket, success=(outcome in ("success", "cancelled")))
         self._observe_query(expression, plan, result, perf_counter() - started)
         return plan, result
+
+    def _observe_termination(self, reason: str, expression: Expression,
+                             plan, elapsed: float) -> None:
+        """Fold one terminated (not completed) query into observability:
+        a ``queries.<reason>`` counter, an unconditional slow-query-log entry
+        carrying the termination reason, and a trace event — and *not*
+        ``queries.executed``, so terminated and completed work never blur."""
+        self.metrics_registry.counter("queries." + reason).add()
+        mode = plan.mode if plan is not None else "-"
+        self.slow_query_log.record(repr(expression), mode, elapsed, 0,
+                                   note="terminated: " + reason)
+        self.tracer.event("query-terminated", reason=reason, seconds=elapsed)
 
     def _observe_query(self, expression: Expression, plan: PhysicalPlan,
                        result, elapsed: float) -> None:
@@ -741,6 +912,8 @@ class Database:
         }
         if self.durability is not None:
             snapshot["durability"] = self.durability.as_dict()
+        if self.admission is not None:
+            snapshot["admission"] = self.admission.as_dict()
         return snapshot
 
     def reset_metrics(self) -> None:
@@ -848,10 +1021,19 @@ class Database:
 
     def query(self, text: str, optimize: bool = True,
               executor: str = "physical", mode: Optional[str] = None,
-              batch_size: Optional[int] = None) -> EvaluationResult:
+              batch_size: Optional[int] = None,
+              timeout: Optional[float] = None,
+              cancel_token=None,
+              memory_budget: Optional[int] = None,
+              spill: Optional[bool] = None,
+              query_class: str = "default") -> EvaluationResult:
         """Parse and evaluate a textual query (see :mod:`repro.query`).
 
         ``db.query("SELECT name FROM employees WHERE jobtype = 'secretary'")``
+
+        The governance arguments (``timeout``, ``cancel_token``,
+        ``memory_budget``, ``spill``, ``query_class``) mean exactly what they
+        do on :meth:`execute`.
         """
         from repro.query import parse_query
 
@@ -859,7 +1041,10 @@ class Database:
             with self.tracer.span("parse"):
                 expression = parse_query(text)
             return self.execute(expression, optimize=optimize, executor=executor,
-                                mode=mode, batch_size=batch_size)
+                                mode=mode, batch_size=batch_size,
+                                timeout=timeout, cancel_token=cancel_token,
+                                memory_budget=memory_budget, spill=spill,
+                                query_class=query_class)
 
     # -- transactions ----------------------------------------------------------------------------------
 

@@ -91,3 +91,53 @@ class EmbeddingError(ReproError):
 
 class DerivationError(ReproError):
     """The axiom-system derivation engine was used incorrectly."""
+
+
+class GovernorError(ReproError):
+    """Base of the resource-governor taxonomy (see :mod:`repro.governor`)."""
+
+
+class QueryCancelled(GovernorError):
+    """The query was cancelled cooperatively at an operator boundary."""
+
+    def __init__(self, reason: str = "query cancelled"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class QueryTimeout(QueryCancelled):
+    """A cancellation whose initiator is the clock: the deadline expired.
+
+    Subclasses :class:`QueryCancelled` so one unwind path covers both;
+    handlers that care about the distinction catch the timeout first.
+    """
+
+    def __init__(self, reason: str = "query deadline exceeded",
+                 timeout: "float | None" = None):
+        super().__init__(reason)
+        self.timeout = timeout
+
+
+class MemoryBudgetExceeded(GovernorError):
+    """A stateful operator outgrew the query's memory budget and could not
+    (or was not allowed to) spill."""
+
+    def __init__(self, operator: str, held_bytes: int, budget_bytes: int):
+        super().__init__(
+            "operator {} holds ~{} bytes against a budget of {} bytes "
+            "and cannot spill".format(operator, held_bytes, budget_bytes))
+        self.operator = operator
+        self.held_bytes = held_bytes
+        self.budget_bytes = budget_bytes
+
+
+class SpillError(GovernorError):
+    """A spill segment on disk is malformed (torn write, CRC mismatch)."""
+
+
+class AdmissionRejected(GovernorError):
+    """The admission controller shed this query (queue full or wait timed out)."""
+
+
+class CircuitOpen(AdmissionRejected):
+    """The circuit breaker is open after too many consecutive failures."""

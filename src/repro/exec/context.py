@@ -167,17 +167,46 @@ class ExecutionContext:
         Whether operators maintain :attr:`OperatorStats.wall_seconds` (two
         ``perf_counter`` reads per batch per operator).  On by default; the
         E15 overhead benchmark runs with ``timing=False`` as its baseline.
+    governor:
+        The :class:`~repro.governor.governor.QueryGovernor` bounding this
+        execution (deadline, cancellation, memory budget), or ``None`` for
+        ungoverned runs — the common case, kept zero-overhead: operators
+        test ``ctx.governor is not None`` once per stream/build, never per
+        tuple.
     """
 
     def __init__(self, source, stats: Optional[ExecutionStats] = None,
                  batch_size: int = DEFAULT_BATCH_SIZE, use_indexes: bool = True,
-                 timing: bool = True):
+                 timing: bool = True, governor=None):
         self.source = source
         self.stats = stats if stats is not None else ExecutionStats()
         self.batch_size = max(1, int(batch_size))
         self.use_indexes = use_indexes
         self.timing = timing
+        self.governor = governor
         self._operator_stats: List[OperatorStats] = []
+
+    def enforce_memory(self, op_stats: OperatorStats, size_bytes: int) -> None:
+        """Record a sampled state size and enforce the memory budget, if any.
+
+        Non-spillable operators call this instead of ``note_memory`` at their
+        materialization points: the measurement always lands in
+        ``peak_bytes``, and a governed run over budget unwinds with
+        ``MemoryBudgetExceeded``.
+        """
+        op_stats.note_memory(size_bytes)
+        governor = self.governor
+        if governor is not None:
+            governor.enforce(op_stats.label, size_bytes)
+
+    def spill_budget(self) -> Optional[int]:
+        """The byte budget spill-capable operators run under, or ``None``
+        when this execution is unbudgeted (or spilling is disabled — then
+        ``enforce_memory`` fails fast instead)."""
+        governor = self.governor
+        if governor is None:
+            return None
+        return governor.spill_budget
 
     def register_operator(self, label: str) -> OperatorStats:
         """Create (and remember) the per-operator counters for one plan node."""

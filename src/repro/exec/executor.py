@@ -193,15 +193,17 @@ class PhysicalExecutor:
     def execute(self, expression: Expression,
                 stats: Optional[ExecutionStats] = None,
                 vectorize: Optional[bool] = None,
-                batch_size: Optional[int] = None) -> PhysicalResult:
+                batch_size: Optional[int] = None,
+                governor=None) -> PhysicalResult:
         """Plan (or fetch from cache) and run ``expression``.
 
         The plan carries its batch-size decision (adaptive or requested), so no
-        separate size is passed at execution time.
+        separate size is passed at execution time.  ``governor`` bounds the
+        execution (see :mod:`repro.governor`).
         """
         plan = self.plan(expression, vectorize=vectorize, batch_size=batch_size)
         return plan.execute(self.source, stats=stats,
-                            use_indexes=self.use_indexes)
+                            use_indexes=self.use_indexes, governor=governor)
 
     def __repr__(self) -> str:
         return "PhysicalExecutor({!r})".format(self.cache)

@@ -99,11 +99,15 @@ class PhysicalOperator:
         op_stats = ctx.register_operator(self.label())
         child_streams = tuple(child.run(ctx) for child in self.children)
         if not ctx.timing:
-            return self._generate(ctx, op_stats, *child_streams)
-        started = perf_counter()
-        stream = self._generate(ctx, op_stats, *child_streams)
-        op_stats.wall_seconds += perf_counter() - started
-        return self._timed_stream(op_stats, stream)
+            stream = self._generate(ctx, op_stats, *child_streams)
+        else:
+            started = perf_counter()
+            stream = self._generate(ctx, op_stats, *child_streams)
+            op_stats.wall_seconds += perf_counter() - started
+            stream = self._timed_stream(op_stats, stream)
+        if ctx.governor is not None:
+            stream = self._governed_stream(ctx.governor, stream)
+        return stream
 
     @staticmethod
     def _timed_stream(op: OperatorStats, stream: Iterator[Batch]) -> Iterator[Batch]:
@@ -116,6 +120,22 @@ class PhysicalOperator:
                 op.wall_seconds += perf_counter() - started
                 return
             op.wall_seconds += perf_counter() - started
+            yield batch
+
+    @staticmethod
+    def _governed_stream(governor, stream: Iterator[Batch]) -> Iterator[Batch]:
+        """Cooperative cancellation around an operator's output stream.
+
+        One ``governor.check()`` before any work starts (the stream's eager
+        setup — hash builds, sorts — happens on the first ``next()``) and one
+        before every batch is handed downstream; a cancel or expired deadline
+        therefore unwinds the whole plan within one operator boundary.  The
+        wrapper sits *outside* the timed stream so boundary checks are counted
+        identically with timing on or off.
+        """
+        governor.check()
+        for batch in stream:
+            governor.check()
             yield batch
 
     def _generate(self, ctx: ExecutionContext, op: OperatorStats, *children) -> Iterator[Batch]:
@@ -163,18 +183,26 @@ class PhysicalOperator:
             yield batch
 
     @staticmethod
-    def _materialize(op: OperatorStats, stream: Iterator[Batch]) -> Set[FlexTuple]:
+    def _materialize(ctx: ExecutionContext, op: OperatorStats,
+                     stream: Iterator[Batch]) -> Set[FlexTuple]:
         """Drain a child's batch stream into a set.
 
         A materialization is a build boundary: the drained set is the
         operator's held state, so its sampled size feeds the ``peak_bytes``
-        memory accounting (one :func:`sampled_size` call per drain, never
-        per tuple).
+        memory accounting (one :func:`sampled_size` call per drain, never per
+        tuple).  Under a memory budget the size is additionally checked per
+        batch, so an oversized build fails fast mid-drain instead of after
+        the damage is done; materializations without a spill algorithm always
+        fail fast (``MemoryBudgetExceeded``), spilling or not.
         """
         result: Set[FlexTuple] = set()
+        governed = (ctx.governor is not None
+                    and ctx.governor.memory_budget is not None)
         for batch in stream:
             op.rows_in += len(batch)
             result.update(batch)
+            if governed:
+                ctx.enforce_memory(op, sampled_size(result))
         op.note_memory(sampled_size(result))
         return result
 
@@ -459,7 +487,7 @@ class ProductOp(PhysicalOperator):
 
     def _generate(self, ctx, op, left, right):
         op.invocations += 1
-        build = self._materialize(op, right)
+        build = self._materialize(ctx, op, right)
 
         def emit():
             seen: Set[FlexTuple] = set()
@@ -510,8 +538,8 @@ class NestedLoopJoin(PhysicalOperator):
 
     def _generate(self, ctx, op, left, right):
         op.invocations += 1
-        left_set = self._materialize(op, left)
-        right_set = self._materialize(op, right)
+        left_set = self._materialize(ctx, op, left)
+        right_set = self._materialize(ctx, op, right)
         shared = self.on if self.on is not None else _shared_attributes(left_set, right_set)
 
         def emit():
@@ -557,7 +585,15 @@ class HashJoin(PhysicalOperator):
 
     def _generate(self, ctx, op, left, right):
         op.invocations += 1
-        right_set = self._materialize(op, right)
+        if self.on is not None and ctx.spill_budget() is not None:
+            # Static join attributes + a budget with spilling allowed: the
+            # grace variant below keeps the build bounded.  Data-dependent
+            # (shared-attribute) joins have no spill form — both sides must be
+            # materialized to even know the key — so they stay on the fail-fast
+            # path through _materialize.
+            return self._generate_grace(ctx, op, left, right,
+                                        ctx.spill_budget())
+        right_set = self._materialize(ctx, op, right)
         if self.on is not None:
             # Join attributes known statically: stream the probe side batch by
             # batch, keeping only the build side in memory.
@@ -567,7 +603,7 @@ class HashJoin(PhysicalOperator):
         else:
             # Natural join: the shared attributes depend on the data, so the
             # probe side must be materialized to discover them.
-            left_set = self._materialize(op, left)
+            left_set = self._materialize(ctx, op, left)
             shared = _shared_attributes(left_set, right_set)
             probe_tuples = iter(left_set)
 
@@ -576,7 +612,7 @@ class HashJoin(PhysicalOperator):
             ctx.stats.guard_checks += 1
             if tup.is_defined_on(shared):
                 buckets.setdefault(tuple(tup[a] for a in shared), []).append(tup)
-        op.note_memory(sampled_size(buckets))
+        ctx.enforce_memory(op, sampled_size(buckets))
 
         def emit():
             seen: Set[FlexTuple] = set()
@@ -593,6 +629,112 @@ class HashJoin(PhysicalOperator):
                         yield merged
 
         return self._rebatch(ctx, op, emit())
+
+    def _generate_grace(self, ctx, op, left, right, budget):
+        """Grace hash join: both sides hash-partitioned to disk, one
+        partition's build buckets in memory at a time.
+
+        The build side is held in memory until the budget trips — a join that
+        fits never touches disk and emits exactly what the in-memory path
+        emits.  Matching keys land in the same partition on both sides, and a
+        merged output tuple determines its join key, so the per-partition
+        ``seen`` sets partition the global duplicate space: the union of the
+        per-partition outputs is exactly the deduplicated join.  All counters
+        (guard checks per input row, pairs per shared bucket) match the
+        in-memory algorithm total for total.
+        """
+        from repro.governor.spill import GracePartitioner
+
+        shared = self.on
+        attrs = tuple(shared)
+        manager = ctx.governor.spill_manager()
+
+        held: List[FlexTuple] = []
+        build_part: Optional[GracePartitioner] = None
+
+        def route_build(tup):
+            ctx.stats.guard_checks += 1
+            if tup.is_defined_on(shared):
+                build_part.add(tuple(tup[a] for a in attrs),
+                               (tup._values, hash(tup)))
+
+        for batch in right:
+            op.rows_in += len(batch)
+            if build_part is None:
+                held.extend(batch)
+                size = sampled_size(held)
+                op.note_memory(size)
+                if size > budget:
+                    build_part = GracePartitioner(manager, "join-build")
+                    for tup in held:
+                        route_build(tup)
+                    held = []
+            else:
+                for tup in batch:
+                    route_build(tup)
+
+        if build_part is None:
+            # Never crossed the budget: plain in-memory build over the drain.
+            buckets: Dict[tuple, List[FlexTuple]] = {}
+            for tup in held:
+                ctx.stats.guard_checks += 1
+                if tup.is_defined_on(shared):
+                    buckets.setdefault(tuple(tup[a] for a in attrs), []).append(tup)
+            op.note_memory(sampled_size(buckets))
+
+            def emit_memory():
+                seen: Set[FlexTuple] = set()
+                for batch in left:
+                    op.rows_in += len(batch)
+                    for left_tuple in batch:
+                        ctx.stats.guard_checks += 1
+                        if not left_tuple.is_defined_on(shared):
+                            continue
+                        partners = buckets.get(
+                            tuple(left_tuple[a] for a in attrs), ())
+                        ctx.stats.join_pairs_considered += len(partners)
+                        for partner in partners:
+                            merged = left_tuple.merge(partner)
+                            if merged not in seen:
+                                seen.add(merged)
+                                yield merged
+
+            return self._rebatch(ctx, op, emit_memory())
+
+        probe_part = GracePartitioner(manager, "join-probe")
+        for batch in left:
+            op.rows_in += len(batch)
+            for tup in batch:
+                ctx.stats.guard_checks += 1
+                if tup.is_defined_on(shared):
+                    probe_part.add(tuple(tup[a] for a in attrs),
+                                   (tup._values, hash(tup)))
+        build_part.finish()
+        probe_part.finish()
+
+        def emit_partitions():
+            for index in range(build_part.partitions):
+                buckets: Dict[tuple, List[FlexTuple]] = {}
+                for key, (values, hash_) in build_part.segment(index):
+                    buckets.setdefault(key, []).append(
+                        FlexTuple.from_parts(values, hash_))
+                # accounting only: grace bounds held state at ~budget + one
+                # partition's buckets, it does not re-enforce per partition
+                op.note_memory(sampled_size(buckets))
+                seen: Set[FlexTuple] = set()
+                for key, (values, hash_) in probe_part.segment(index):
+                    partners = buckets.get(key, ())
+                    ctx.stats.join_pairs_considered += len(partners)
+                    if not partners:
+                        continue
+                    left_tuple = FlexTuple.from_parts(values, hash_)
+                    for partner in partners:
+                        merged = left_tuple.merge(partner)
+                        if merged not in seen:
+                            seen.add(merged)
+                            yield merged
+
+        return self._rebatch(ctx, op, emit_partitions())
 
     @staticmethod
     def _count_batch(op: OperatorStats, batch: Batch) -> Batch:
@@ -662,7 +804,7 @@ class IndexLookupJoin(PhysicalOperator):
                 ctx.stats.guard_checks += 1
                 if tup.is_defined_on(self.on):
                     buckets.setdefault(tuple(tup[a] for a in self.on), []).append(tup)
-            op.note_memory(sampled_size(buckets))
+            ctx.enforce_memory(op, sampled_size(buckets))
             lookup = lambda probe: buckets.get(probe, ())  # noqa: E731
 
         remaining = self.on - probe_attributes
@@ -747,7 +889,7 @@ class DifferenceOp(PhysicalOperator):
 
     def _generate(self, ctx, op, left, right):
         op.invocations += 1
-        exclude = self._materialize(op, right)
+        exclude = self._materialize(ctx, op, right)
 
         def emit():
             for batch in left:
@@ -787,14 +929,14 @@ class MultiwayJoinOp(PhysicalOperator):
 
     def _generate(self, ctx, op, master, *fragments):
         op.invocations += 1
-        current = self._materialize(op, master)
+        current = self._materialize(ctx, op, master)
         for stream in fragments:
-            fragment = self._materialize(op, stream)
+            fragment = self._materialize(ctx, op, stream)
             buckets: Dict[tuple, List[FlexTuple]] = {}
             for tup in fragment:
                 if tup.is_defined_on(self.on):
                     buckets.setdefault(tuple(tup[a] for a in self.on), []).append(tup)
-            op.note_memory(sampled_size(buckets))
+            ctx.enforce_memory(op, sampled_size(buckets))
             merged: Set[FlexTuple] = set()
             for tup in current:
                 if not tup.is_defined_on(self.on):
@@ -808,7 +950,7 @@ class MultiwayJoinOp(PhysicalOperator):
                 for partner in partners:
                     merged.add(tup.merge(partner))
             current = merged
-            op.note_memory(sampled_size(current))
+            ctx.enforce_memory(op, sampled_size(current))
         return self._rebatch(ctx, op, iter(current))
 
 
@@ -850,6 +992,28 @@ class HashAggregateOp(PhysicalOperator):
         op.invocations += 1
         accumulator = AggregateAccumulator(self.specs)
         names = self.group_by
+        spill_budget = ctx.spill_budget()
+        if spill_budget is not None:
+            # Partition-and-merge under a budget: the group dict flushes to
+            # hash-partitioned segments whenever it outgrows the budget and
+            # partitions merge (AggregateAccumulator.merge_states) at
+            # finalize time — same outputs, bounded held state.
+            from repro.governor.spill import SpillingAggregator
+
+            spiller = SpillingAggregator(
+                ctx.governor.spill_manager(), accumulator, names,
+                spill_budget, op.note_memory)
+            for batch in child:
+                count = len(batch)
+                op.rows_in += count
+                ctx.stats.tuples_scanned += count
+                for tup in batch:
+                    spiller.add(tup._values)
+                spiller.maybe_spill()
+            return self._rebatch(
+                ctx, op, (FlexTuple(out) for out in spiller.results()))
+        governed = (ctx.governor is not None
+                    and ctx.governor.memory_budget is not None)
         groups: Dict[object, List] = {}
         for batch in child:
             count = len(batch)
@@ -862,6 +1026,10 @@ class HashAggregateOp(PhysicalOperator):
                 if states is None:
                     states = groups[key] = accumulator.new_state()
                 accumulator.update(states, values)
+            if governed:
+                # spilling disabled: fail fast at the batch boundary instead
+                # of discovering the blown budget after the whole build
+                ctx.enforce_memory(op, sampled_size(groups))
         op.note_memory(sampled_size(groups))
         return self._rebatch(ctx, op, self._finalize(accumulator, groups))
 
@@ -909,14 +1077,44 @@ class SortOp(PhysicalOperator):
 
     def _generate(self, ctx, op, child):
         op.invocations += 1
+        keys = self.keys
+        spill_budget = ctx.spill_budget()
+        if spill_budget is not None:
+            # External merge sort: sorted runs flushed to disk when the held
+            # rows outgrow the budget, k-way merged on emit.  Tuples travel
+            # as (values, hash) pairs — plain picklable data — and are
+            # rebuilt with FlexTuple.from_parts on the way back; row_order_key
+            # is a total order, so the merged stream is deterministic.
+            from itertools import islice
+
+            from repro.governor.spill import ExternalSorter
+
+            sorter = ExternalSorter(
+                ctx.governor.spill_manager(),
+                key=lambda pair: row_order_key(pair[0], keys),
+                budget=spill_budget, note=op.note_memory)
+            for batch in child:
+                count = len(batch)
+                op.rows_in += count
+                ctx.stats.tuples_scanned += count
+                sorter.extend((tup._values, hash(tup)) for tup in batch)
+                sorter.maybe_spill()
+            merged = (FlexTuple.from_parts(values, hash_)
+                      for values, hash_ in sorter.merged())
+            if self.limit is not None:
+                merged = islice(merged, self.limit)
+            return self._rebatch(ctx, op, merged)
+        governed = (ctx.governor is not None
+                    and ctx.governor.memory_budget is not None)
         rows: List[FlexTuple] = []
         for batch in child:
             count = len(batch)
             op.rows_in += count
             ctx.stats.tuples_scanned += count
             rows.extend(batch)
+            if governed:
+                ctx.enforce_memory(op, sampled_size(rows))
         op.note_memory(sampled_size(rows))
-        keys = self.keys
         rows.sort(key=lambda tup: row_order_key(tup._values, keys))
         if self.limit is not None:
             rows = rows[:self.limit]
@@ -963,7 +1161,7 @@ class TopKOp(PhysicalOperator):
 
         best = top_k_rows(rows(), self.count, self.keys,
                           key_of=lambda tup: tup._values)
-        op.note_memory(sampled_size(best))
+        ctx.enforce_memory(op, sampled_size(best))
         return self._rebatch(ctx, op, iter(best))
 
 
@@ -1002,11 +1200,15 @@ class SubqueryExtendOp(PhysicalOperator):
         ctx.stats.record_operator(self.name)
         op_stats = ctx.register_operator(self.label())
         if not ctx.timing:
-            return self._start(ctx, op_stats)
-        started = perf_counter()
-        stream = self._start(ctx, op_stats)
-        op_stats.wall_seconds += perf_counter() - started
-        return self._timed_stream(op_stats, stream)
+            stream = self._start(ctx, op_stats)
+        else:
+            started = perf_counter()
+            stream = self._start(ctx, op_stats)
+            op_stats.wall_seconds += perf_counter() - started
+            stream = self._timed_stream(op_stats, stream)
+        if ctx.governor is not None:
+            stream = self._governed_stream(ctx.governor, stream)
+        return stream
 
     def _start(self, ctx, op):
         op.invocations += 1
@@ -1014,12 +1216,12 @@ class SubqueryExtendOp(PhysicalOperator):
         for batch in self.child.run(ctx):
             op.rows_in += len(batch)
             batches.append(batch)
-        op.note_memory(sampled_size(batches))
+        ctx.enforce_memory(op, sampled_size(batches))
         value = self._scalar_value(ctx, op)
         return self._emit(ctx, op, batches, value)
 
     def _scalar_value(self, ctx, op):
-        result = self._materialize(op, self.subquery.run(ctx))
+        result = self._materialize(ctx, op, self.subquery.run(ctx))
         if not result:
             return _NO_VALUE
         if len(result) > 1:

@@ -221,7 +221,7 @@ class PhysicalPlan:
     def execute(self, source, stats: Optional[ExecutionStats] = None,
                 batch_size: Optional[int] = None,
                 use_indexes: bool = True,
-                timing: bool = True) -> PhysicalResult:
+                timing: bool = True, governor=None) -> PhysicalResult:
         """Run the plan against ``source`` and collect the result set.
 
         ``batch_size=None`` uses the plan's own sizing decision (the planner's
@@ -229,14 +229,17 @@ class PhysicalPlan:
         back to the mode default: ~1024 tuples per batch for vectorized plans,
         256 for row plans.  ``timing=False`` turns off the per-operator
         wall-clock accounting (see :class:`~repro.exec.context.OperatorStats`);
-        the result's own ``wall_seconds`` is always measured.
+        the result's own ``wall_seconds`` is always measured.  ``governor``
+        bounds the execution (deadline, cancellation, memory budget — see
+        :mod:`repro.governor`); ``None`` runs ungoverned.
         """
         if batch_size is None:
             batch_size = self.batch_size
         if batch_size is None:
             batch_size = DEFAULT_BATCH_SIZE if self.mode == "row" else VECTOR_BATCH_SIZE
         ctx = ExecutionContext(source, stats=stats, batch_size=batch_size,
-                               use_indexes=use_indexes, timing=timing)
+                               use_indexes=use_indexes, timing=timing,
+                               governor=governor)
         started = perf_counter()
         tuples = set()
         for batch in self.root.run(ctx):

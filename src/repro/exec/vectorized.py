@@ -64,7 +64,11 @@ from typing import Dict, Iterator, List
 from repro.algebra.evaluator import _resolve_relation
 from repro.errors import AlgebraError
 from repro.exec.context import sampled_size
-from repro.algebra.analytic import row_order_key, top_k_rows
+from repro.algebra.analytic import (
+    AggregateAccumulator,
+    row_order_key,
+    top_k_rows,
+)
 from repro.exec.compiled import (
     CompiledAggregates,
     CompiledExtension,
@@ -394,7 +398,7 @@ class BatchDifference(DifferenceOp):
 
     def _generate(self, ctx, op, left, right) -> Iterator[TupleBatch]:
         op.invocations += 1
-        exclude = self._materialize(op, right)
+        exclude = self._materialize(ctx, op, right)
 
         def emit() -> Iterator[TupleBatch]:
             stats = ctx.stats
@@ -420,8 +424,8 @@ class BatchProduct(ProductOp):
 
     def _generate(self, ctx, op, left, right) -> Iterator[TupleBatch]:
         op.invocations += 1
-        build = [tup._values for tup in self._materialize(op, right)]
-        op.note_memory(sampled_size(build))
+        build = [tup._values for tup in self._materialize(ctx, op, right)]
+        ctx.enforce_memory(op, sampled_size(build))
 
         def emit() -> Iterator[TupleBatch]:
             stats = ctx.stats
@@ -467,6 +471,8 @@ def _build_buckets(op, ctx, stream, names) -> Dict:
     of the probe loop, never materialized when the build side was lazy.
     """
     stats = ctx.stats
+    governed = (ctx.governor is not None
+                and ctx.governor.memory_budget is not None)
     buckets: Dict = {}
     setdefault = buckets.setdefault
     single = len(names) == 1
@@ -485,6 +491,10 @@ def _build_buckets(op, ctx, stream, names) -> Dict:
             for i, key in enumerate(zip(*columns)):
                 if all(value is not MISSING for value in key):
                     setdefault(key, []).append(values_list[i])
+        if governed:
+            # fail fast at the batch boundary (spilling joins never get here;
+            # they drain through BatchHashJoin._generate_grace instead)
+            ctx.enforce_memory(op, sampled_size(buckets))
     op.note_memory(sampled_size(buckets))
     return buckets
 
@@ -517,38 +527,143 @@ class BatchHashJoin(HashJoin):
     def _generate(self, ctx, op, left, right) -> Iterator[TupleBatch]:
         op.invocations += 1
         names = [a.name for a in self.on]
+        budget = ctx.spill_budget()
+        if budget is not None:
+            return self._generate_grace(ctx, op, left, right, names, budget)
         buckets = _build_buckets(op, ctx, right, names)
+        return self._probe_emit(ctx, op, left, names, buckets)
+
+    def _probe_emit(self, ctx, op, left, names, buckets) -> Iterator[TupleBatch]:
+        stats = ctx.stats
+        get = buckets.get
+        single = len(names) == 1
+        seen = set()
+        add_seen = seen.add
+        for raw in left:
+            batch = TupleBatch.of(raw)
+            count = len(batch)
+            op.rows_in += count
+            stats.guard_checks += count
+            values_list = batch.values_list()
+            out_values: List[dict] = []
+            out_hashes: List[int] = []
+            if single:
+                probes = enumerate(batch.column(names[0]))
+            else:
+                columns = [batch.column(name) for name in names]
+                probes = enumerate(zip(*columns))
+            for i, key in probes:
+                if single:
+                    if key is MISSING:
+                        continue
+                elif not all(value is not MISSING for value in key):
+                    continue
+                partners = get(key)
+                if partners is None:
+                    continue
+                stats.join_pairs_considered += len(partners)
+                row_values = values_list[i]
+                for partner in partners:
+                    merged = merge_values(row_values, partner)
+                    dedup = frozenset(merged.items())
+                    if dedup not in seen:
+                        add_seen(dedup)
+                        out_values.append(merged)
+                        out_hashes.append(hash(dedup))
+            if out_values:
+                op.rows_out += len(out_values)
+                op.batches_out += 1
+                batch = LazyBatch(out_values, out_hashes)
+                if not self.lazy:
+                    batch.rows  # noqa: B018 — eager materialization (A/B baseline)
+                yield batch
+
+    def _generate_grace(self, ctx, op, left, right, names,
+                        budget) -> Iterator[TupleBatch]:
+        """Grace hash join under a memory budget (batch form).
+
+        Identical algorithm to the row engine's
+        :meth:`~repro.exec.operators.HashJoin._generate_grace`, carried out on
+        plain value dicts: the build side is held in memory until the budget
+        trips, then both sides hash-partition to spill segments and each
+        partition builds/probes/dedups independently (merged rows carry the
+        join key, so per-partition ``seen`` sets are globally correct).
+        """
+        from repro.governor.spill import GracePartitioner
+
+        stats = ctx.stats
+        manager = ctx.governor.spill_manager()
+        single = len(names) == 1
+
+        def keyed(batch):
+            values_list = batch.values_list()
+            if single:
+                return ((value, values_list[i])
+                        for i, value in enumerate(batch.column(names[0]))
+                        if value is not MISSING)
+            columns = [batch.column(name) for name in names]
+            return ((key, values_list[i])
+                    for i, key in enumerate(zip(*columns))
+                    if all(value is not MISSING for value in key))
+
+        pairs: List[tuple] = []
+        build_part = None
+        for raw in right:
+            batch = TupleBatch.of(raw)
+            count = len(batch)
+            op.rows_in += count
+            stats.guard_checks += count
+            if build_part is None:
+                pairs.extend(keyed(batch))
+                size = sampled_size(pairs)
+                op.note_memory(size)
+                if size > budget:
+                    build_part = GracePartitioner(manager, "join-build")
+                    for key, values in pairs:
+                        build_part.add(key, values)
+                    pairs = []
+            else:
+                for key, values in keyed(batch):
+                    build_part.add(key, values)
+
+        if build_part is None:
+            # Never crossed the budget: the ordinary in-memory probe.
+            buckets: Dict = {}
+            for key, values in pairs:
+                buckets.setdefault(key, []).append(values)
+            op.note_memory(sampled_size(buckets))
+            return self._probe_emit(ctx, op, left, names, buckets)
+
+        probe_part = GracePartitioner(manager, "join-probe")
+        for raw in left:
+            batch = TupleBatch.of(raw)
+            count = len(batch)
+            op.rows_in += count
+            stats.guard_checks += count
+            for key, values in keyed(batch):
+                probe_part.add(key, values)
+        build_part.finish()
+        probe_part.finish()
 
         def emit() -> Iterator[TupleBatch]:
-            stats = ctx.stats
-            get = buckets.get
-            single = len(names) == 1
-            seen = set()
-            add_seen = seen.add
-            for raw in left:
-                batch = TupleBatch.of(raw)
-                count = len(batch)
-                op.rows_in += count
-                stats.guard_checks += count
-                values_list = batch.values_list()
-                out_values: List[dict] = []
-                out_hashes: List[int] = []
-                if single:
-                    probes = enumerate(batch.column(names[0]))
-                else:
-                    columns = [batch.column(name) for name in names]
-                    probes = enumerate(zip(*columns))
-                for i, key in probes:
-                    if single:
-                        if key is MISSING:
-                            continue
-                    elif not all(value is not MISSING for value in key):
-                        continue
+            size = ctx.batch_size
+            out_values: List[dict] = []
+            out_hashes: List[int] = []
+            for index in range(build_part.partitions):
+                buckets: Dict = {}
+                for key, values in build_part.segment(index):
+                    buckets.setdefault(key, []).append(values)
+                # accounting only: grace bounds held state at ~budget + one
+                # partition's buckets, it does not re-enforce per partition
+                op.note_memory(sampled_size(buckets))
+                get = buckets.get
+                seen = set()
+                add_seen = seen.add
+                for key, row_values in probe_part.segment(index):
                     partners = get(key)
                     if partners is None:
                         continue
                     stats.join_pairs_considered += len(partners)
-                    row_values = values_list[i]
                     for partner in partners:
                         merged = merge_values(row_values, partner)
                         dedup = frozenset(merged.items())
@@ -556,13 +671,15 @@ class BatchHashJoin(HashJoin):
                             add_seen(dedup)
                             out_values.append(merged)
                             out_hashes.append(hash(dedup))
-                if out_values:
-                    op.rows_out += len(out_values)
-                    op.batches_out += 1
-                    batch = LazyBatch(out_values, out_hashes)
-                    if not self.lazy:
-                        batch.rows  # noqa: B018 — eager materialization (A/B baseline)
-                    yield batch
+                            if len(out_values) >= size:
+                                op.rows_out += len(out_values)
+                                op.batches_out += 1
+                                yield LazyBatch(out_values, out_hashes)
+                                out_values, out_hashes = [], []
+            if out_values:
+                op.rows_out += len(out_values)
+                op.batches_out += 1
+                yield LazyBatch(out_values, out_hashes)
 
         return emit()
 
@@ -596,7 +713,7 @@ class BatchIndexLookupJoin(IndexLookupJoin):
             for tup in inner_rows:
                 if tup.is_defined_on(self.on):
                     buckets.setdefault(tuple(tup[a] for a in self.on), []).append(tup)
-            op.note_memory(sampled_size(buckets))
+            ctx.enforce_memory(op, sampled_size(buckets))
             lookup = lambda probe: buckets.get(probe, ())  # noqa: E731
 
         probe_names = [a.name for a in probe_attributes]
@@ -687,7 +804,7 @@ class BatchMultiwayJoin(MultiwayJoinOp):
             return all_values, all_hashes
 
         current_values, current_hashes = drain(master)
-        op.note_memory(sampled_size(current_values))
+        ctx.enforce_memory(op, sampled_size(current_values))
         for stream in fragments:
             fragment_values, _fragment_hashes = drain(stream)
             buckets: Dict = {}
@@ -730,9 +847,9 @@ class BatchMultiwayJoin(MultiwayJoinOp):
                         add_seen(dedup)
                         append_values(combined)
                         append_hashes(hash(dedup))
-            op.note_memory(sampled_size(buckets))
+            ctx.enforce_memory(op, sampled_size(buckets))
             current_values, current_hashes = out_values, out_hashes
-            op.note_memory(sampled_size(current_values))
+            ctx.enforce_memory(op, sampled_size(current_values))
 
         def emit() -> Iterator[TupleBatch]:
             size = ctx.batch_size
@@ -761,14 +878,22 @@ class BatchHashAggregate(HashAggregateOp):
 
     def _generate(self, ctx, op, child) -> Iterator[TupleBatch]:
         op.invocations += 1
+        budget = ctx.spill_budget()
+        if budget is not None:
+            return self._generate_spilled(ctx, op, child, budget)
         compiled = CompiledAggregates(self.group_by, self.specs)
         stats = ctx.stats
+        governed = (ctx.governor is not None
+                    and ctx.governor.memory_budget is not None)
         for raw in child:
             batch = TupleBatch.of(raw)
             count = len(batch)
             op.rows_in += count
             stats.tuples_scanned += count
             compiled.update(batch)
+            if governed:
+                ctx.enforce_memory(op, sampled_size(compiled.key_to_gid)
+                                   + sampled_size(compiled.sizes))
         op.note_memory(sampled_size(compiled.key_to_gid)
                        + sampled_size(compiled.sizes))
         out_values = compiled.results()
@@ -777,6 +902,43 @@ class BatchHashAggregate(HashAggregateOp):
             size = ctx.batch_size
             for start in range(0, len(out_values), size):
                 chunk = out_values[start:start + size]
+                op.rows_out += len(chunk)
+                op.batches_out += 1
+                yield LazyBatch(chunk)
+
+        return emit()
+
+    def _generate_spilled(self, ctx, op, child, budget) -> Iterator[TupleBatch]:
+        """γ under a memory budget: the row-style partition-and-merge
+        aggregator over value dicts (the compiled column-at-a-time kernel has
+        no partial-state eviction, so a budgeted run trades it away)."""
+        from repro.governor.spill import SpillingAggregator
+
+        accumulator = AggregateAccumulator(self.specs)
+        spiller = SpillingAggregator(
+            ctx.governor.spill_manager(), accumulator, self.group_by,
+            budget, op.note_memory)
+        stats = ctx.stats
+        for raw in child:
+            batch = TupleBatch.of(raw)
+            count = len(batch)
+            op.rows_in += count
+            stats.tuples_scanned += count
+            for values in batch.values_list():
+                spiller.add(values)
+            spiller.maybe_spill()
+
+        def emit() -> Iterator[TupleBatch]:
+            size = ctx.batch_size
+            chunk: List[dict] = []
+            for values in spiller.results():
+                chunk.append(values)
+                if len(chunk) >= size:
+                    op.rows_out += len(chunk)
+                    op.batches_out += 1
+                    yield LazyBatch(chunk)
+                    chunk = []
+            if chunk:
                 op.rows_out += len(chunk)
                 op.batches_out += 1
                 yield LazyBatch(chunk)
@@ -795,7 +957,12 @@ class BatchSort(SortOp):
 
     def _generate(self, ctx, op, child) -> Iterator[TupleBatch]:
         op.invocations += 1
+        budget = ctx.spill_budget()
+        if budget is not None:
+            return self._generate_spilled(ctx, op, child, budget)
         stats = ctx.stats
+        governed = (ctx.governor is not None
+                    and ctx.governor.memory_budget is not None)
         pairs: List[tuple] = []
         extend = pairs.extend
         for raw in child:
@@ -804,6 +971,8 @@ class BatchSort(SortOp):
             op.rows_in += count
             stats.tuples_scanned += count
             extend(zip(batch.values_list(), batch.hashes_list()))
+            if governed:
+                ctx.enforce_memory(op, sampled_size(pairs))
         op.note_memory(sampled_size(pairs))
         keys = self.keys
         pairs.sort(key=lambda pair: row_order_key(pair[0], keys))
@@ -818,6 +987,49 @@ class BatchSort(SortOp):
                 op.batches_out += 1
                 yield LazyBatch([pair[0] for pair in chunk],
                                 [pair[1] for pair in chunk])
+
+        return emit()
+
+    def _generate_spilled(self, ctx, op, child, budget) -> Iterator[TupleBatch]:
+        """τ under a memory budget: batches drain into an external merge sort
+        as the same ``(values, hash)`` pairs the in-memory form sorts."""
+        from itertools import islice
+
+        from repro.governor.spill import ExternalSorter
+
+        stats = ctx.stats
+        keys = self.keys
+        sorter = ExternalSorter(
+            ctx.governor.spill_manager(),
+            key=lambda pair: row_order_key(pair[0], keys),
+            budget=budget, note=op.note_memory)
+        for raw in child:
+            batch = TupleBatch.of(raw)
+            count = len(batch)
+            op.rows_in += count
+            stats.tuples_scanned += count
+            sorter.extend(zip(batch.values_list(), batch.hashes_list()))
+            sorter.maybe_spill()
+        merged = sorter.merged()
+        if self.limit is not None:
+            merged = islice(merged, self.limit)
+
+        def emit() -> Iterator[TupleBatch]:
+            size = ctx.batch_size
+            out_values: List[dict] = []
+            out_hashes: List[int] = []
+            for values, hash_ in merged:
+                out_values.append(values)
+                out_hashes.append(hash_)
+                if len(out_values) >= size:
+                    op.rows_out += len(out_values)
+                    op.batches_out += 1
+                    yield LazyBatch(out_values, out_hashes)
+                    out_values, out_hashes = [], []
+            if out_values:
+                op.rows_out += len(out_values)
+                op.batches_out += 1
+                yield LazyBatch(out_values, out_hashes)
 
         return emit()
 
@@ -844,7 +1056,7 @@ class BatchTopK(TopKOp):
 
         best = top_k_rows(pairs(), self.count, self.keys,
                           key_of=lambda pair: pair[0])
-        op.note_memory(sampled_size(best))
+        ctx.enforce_memory(op, sampled_size(best))
 
         def emit() -> Iterator[TupleBatch]:
             size = ctx.batch_size

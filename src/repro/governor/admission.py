@@ -1,0 +1,238 @@
+"""Admission control: the front door that sheds load instead of compounding.
+
+Three cooperating pieces, all clock- and sleep-injectable for deterministic
+tests:
+
+* :class:`AdmissionController` — a concurrency cap with a bounded wait
+  queue.  ``admit()`` either grants a ticket immediately, waits (bounded)
+  for a slot, or raises ``AdmissionRejected`` when the queue is full / the
+  wait times out; ``complete()`` releases the slot and feeds the breaker.
+  Per-class timeouts let interactive traffic run under tighter deadlines
+  than batch traffic without every call site passing one.
+* :class:`CircuitBreaker` — trips open after N *consecutive* failures,
+  half-opens after a cooldown to probe with one query, and closes again on
+  success.  Client-initiated cancellations are not failures.
+* :class:`RetryPolicy` — exponential backoff with jitter for callers that
+  want transient rejections (shed, timeout) retried.
+"""
+
+import random
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple, Type
+
+from repro.errors import AdmissionRejected, CircuitOpen, QueryTimeout
+
+__all__ = ["AdmissionController", "AdmissionTicket", "CircuitBreaker",
+           "RetryPolicy"]
+
+
+class AdmissionTicket:
+    """Proof of admission; hand it back to ``complete()`` exactly once."""
+
+    __slots__ = ("query_class", "released")
+
+    def __init__(self, query_class: str):
+        self.query_class = query_class
+        self.released = False
+
+
+class CircuitBreaker:
+    """Trip-open after ``failure_threshold`` consecutive failures.
+
+    States: ``closed`` (all traffic), ``open`` (everything rejected until
+    ``reset_timeout`` elapses), ``half-open`` (one probe allowed; success
+    closes the circuit, failure re-opens it).
+    """
+
+    def __init__(self, failure_threshold: int = 5, reset_timeout: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.trips = 0
+        self._opened_at: Optional[float] = None
+
+    def allow(self) -> bool:
+        with self._lock:
+            if self.state == "open":
+                if self._clock() - self._opened_at >= self.reset_timeout:
+                    self.state = "half-open"
+                    return True
+                return False
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self.consecutive_failures = 0
+            self.state = "closed"
+            self._opened_at = None
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.consecutive_failures += 1
+            if (self.state == "half-open"
+                    or self.consecutive_failures >= self.failure_threshold):
+                self.state = "open"
+                self._opened_at = self._clock()
+                self.trips += 1
+                self.consecutive_failures = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"state": self.state, "trips": self.trips,
+                "consecutive_failures": self.consecutive_failures,
+                "failure_threshold": self.failure_threshold}
+
+
+class AdmissionController:
+    """Bounded front door for query execution.
+
+    ``max_concurrent`` slots run at once; up to ``queue_limit`` callers wait
+    at most ``queue_timeout`` seconds for a slot.  Everything beyond that is
+    shed with ``AdmissionRejected`` immediately — a full queue means the
+    system is already saturated and more waiting only compounds the backlog.
+    """
+
+    def __init__(self, max_concurrent: int = 4, queue_limit: int = 16,
+                 queue_timeout: float = 5.0,
+                 class_timeouts: Optional[Dict[str, float]] = None,
+                 failure_threshold: int = 5, breaker_reset: float = 30.0,
+                 registry=None,
+                 clock: Callable[[], float] = time.monotonic):
+        if max_concurrent < 0:
+            raise ValueError("max_concurrent must be >= 0")
+        self.max_concurrent = int(max_concurrent)
+        self.queue_limit = int(queue_limit)
+        self.queue_timeout = float(queue_timeout)
+        #: per-class default query timeouts (e.g. interactive vs batch)
+        self.class_timeouts = dict(class_timeouts or {})
+        self.registry = registry
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._slot_freed = threading.Condition(self._lock)
+        self.active = 0
+        self.queued = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+        self.breaker = CircuitBreaker(failure_threshold, breaker_reset,
+                                      clock=clock)
+
+    def _count(self, name: str) -> None:
+        if self.registry is not None:
+            self.registry.counter(name).add()
+
+    def timeout_for(self, query_class: str) -> Optional[float]:
+        """The default deadline for a class (None = no class deadline)."""
+        return self.class_timeouts.get(query_class)
+
+    def admit(self, query_class: str = "default") -> AdmissionTicket:
+        if not self.breaker.allow():
+            self.shed_total += 1
+            self._count("admission.shed")
+            raise CircuitOpen(
+                "circuit breaker open (tripped {} time(s)); retry after "
+                "{}s".format(self.breaker.trips, self.breaker.reset_timeout))
+        with self._slot_freed:
+            if self.active < self.max_concurrent:
+                self.active += 1
+                self.admitted_total += 1
+                self._count("admission.admitted")
+                return AdmissionTicket(query_class)
+            if self.queued >= self.queue_limit:
+                self.shed_total += 1
+                self._count("admission.shed")
+                raise AdmissionRejected(
+                    "admission queue full ({} waiting, {} running)".format(
+                        self.queued, self.active))
+            self.queued += 1
+            self._count("admission.queued")
+            deadline = self._clock() + self.queue_timeout
+            try:
+                while self.active >= self.max_concurrent:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        self.shed_total += 1
+                        self._count("admission.shed")
+                        raise AdmissionRejected(
+                            "timed out after {}s waiting for an execution "
+                            "slot".format(self.queue_timeout))
+                    self._slot_freed.wait(remaining)
+                self.active += 1
+                self.admitted_total += 1
+                self._count("admission.admitted")
+                return AdmissionTicket(query_class)
+            finally:
+                self.queued -= 1
+
+    def complete(self, ticket: AdmissionTicket, success: bool = True) -> None:
+        """Release the ticket's slot and feed the breaker."""
+        if ticket.released:
+            return
+        ticket.released = True
+        with self._slot_freed:
+            self.active -= 1
+            self._slot_freed.notify()
+        if success:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "active": self.active,
+            "queued": self.queued,
+            "max_concurrent": self.max_concurrent,
+            "queue_limit": self.queue_limit,
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+            "breaker": self.breaker.as_dict(),
+        }
+
+
+class RetryPolicy:
+    """Exponential backoff with jitter around a retryable callable.
+
+    ``run(fn)`` invokes ``fn`` up to ``max_attempts`` times, sleeping
+    ``base_delay * multiplier**attempt * (1 + jitter * U[0,1))`` between
+    retryable failures and re-raising the last error once attempts are
+    exhausted.  ``sleep`` and ``rng`` are injectable so tests never wait.
+    """
+
+    def __init__(self, max_attempts: int = 3, base_delay: float = 0.05,
+                 multiplier: float = 2.0, jitter: float = 0.5,
+                 retry_on: Tuple[Type[BaseException], ...] = (
+                     AdmissionRejected, QueryTimeout),
+                 sleep: Callable[[float], None] = time.sleep,
+                 rng: Optional[random.Random] = None):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = int(max_attempts)
+        self.base_delay = float(base_delay)
+        self.multiplier = float(multiplier)
+        self.jitter = float(jitter)
+        self.retry_on = retry_on
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self.attempts = 0
+        self.delays = []
+
+    def delay(self, attempt: int) -> float:
+        backoff = self.base_delay * (self.multiplier ** attempt)
+        return backoff * (1.0 + self.jitter * self._rng.random())
+
+    def run(self, fn: Callable):
+        self.attempts = 0
+        del self.delays[:]
+        while True:
+            self.attempts += 1
+            try:
+                return fn()
+            except self.retry_on:
+                if self.attempts >= self.max_attempts:
+                    raise
+                pause = self.delay(self.attempts - 1)
+                self.delays.append(pause)
+                self._sleep(pause)

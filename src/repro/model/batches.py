@@ -50,6 +50,15 @@ class _Missing:
     def __repr__(self) -> str:
         return "MISSING"
 
+    def __reduce__(self):
+        # ``is MISSING`` identity must survive pickling — spill segments
+        # (repro.governor.spill) round-trip value dicts through pickle.
+        return (_missing, ())
+
+
+def _missing() -> "_Missing":
+    return MISSING
+
 
 #: the single sentinel instance used in column arrays (compare with ``is``)
 MISSING = _Missing()

@@ -287,7 +287,26 @@ class DurabilityManager:
     # -- lifecycle / introspection ---------------------------------------------------------
 
     def close(self) -> None:
-        if self.wal is not None:
+        """Abort any open transaction and close the write-ahead log.
+
+        Idempotent — the WAL's own close guard makes a second call a no-op.
+        An open transaction is aborted (best-effort abort record; replay
+        discards uncommitted work either way) so a database closed mid-
+        transaction leaves no transaction dangling.  The ``wal`` attribute
+        stays readable for post-mortem inspection (path, size, counters);
+        appending to it raises :class:`WALError`.
+        """
+        if self.wal is None:
+            return
+        txn, self._open_txn = self._open_txn, None
+        began, self._txn_began = self._txn_began, False
+        try:
+            if txn is not None and began:
+                try:
+                    self.wal.append({"op": OP_ABORT, "txn": txn})
+                except (WALError, OSError):
+                    pass
+        finally:
             self.wal.close()
 
     def as_dict(self) -> Dict[str, object]:

@@ -106,7 +106,16 @@ OP_CHECKPOINT = "checkpoint"
 
 
 class WALError(ReproError):
-    """The write-ahead log could not honor a request (broken log, bad state)."""
+    """The write-ahead log could not honor a request (broken log, bad state).
+
+    ``last_good_offset`` — when known — is the byte length of the intact log
+    prefix at the moment the failure was contained: everything before it
+    survives a reopen, everything after it is the torn tail recovery discards.
+    """
+
+    def __init__(self, message: str, last_good_offset: Optional[int] = None):
+        super().__init__(message)
+        self.last_good_offset = last_good_offset
 
 
 def encode_record(record: Dict[str, object]) -> bytes:
@@ -194,6 +203,8 @@ class WriteAheadLog:
         self._factory = file_factory or (lambda p, mode: open(p, mode))
         self._registry = registry
         self._broken: Optional[str] = None
+        self._last_good_offset: Optional[int] = None
+        self._closed = False
         existing = os.path.getsize(path) if os.path.exists(path) else 0
         self._file = self._factory(path, "ab")
         if existing < len(MAGIC):
@@ -226,6 +237,7 @@ class WriteAheadLog:
     def _fail(self, exc: BaseException, last_good: int) -> None:
         """Contain a write/fsync failure: roll the file back, mark broken."""
         self._broken = "{}: {}".format(type(exc).__name__, exc)
+        self._last_good_offset = last_good
         try:
             self._truncate_to(last_good)
         except OSError:
@@ -233,10 +245,15 @@ class WriteAheadLog:
         self.size = last_good
 
     def _require_healthy(self) -> None:
+        if self._closed:
+            raise WALError(
+                "write-ahead log {!r} is closed".format(self.path))
         if self._broken is not None:
             raise WALError(
-                "write-ahead log {!r} failed earlier ({}); reopen the database "
-                "to recover".format(self.path, self._broken))
+                "write-ahead log {!r} failed earlier ({}); intact through "
+                "byte offset {} — reopen the database to recover".format(
+                    self.path, self._broken, self._last_good_offset),
+                last_good_offset=self._last_good_offset)
 
     # -- the append/commit protocol ------------------------------------------------------
 
@@ -318,11 +335,16 @@ class WriteAheadLog:
         return self._broken is not None
 
     def close(self) -> None:
-        """Drain pending commits (when healthy) and close the file."""
+        """Drain pending commits (when healthy) and close the file.
+
+        Idempotent: a second ``close()`` is a no-op."""
+        if self._closed:
+            return
         try:
             if self._broken is None:
                 self.flush()
         finally:
+            self._closed = True
             try:
                 self._file.close()
             except OSError:

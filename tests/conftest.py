@@ -1,4 +1,14 @@
-"""Shared fixtures: the paper's running examples as ready-made objects."""
+"""Shared fixtures: the paper's running examples as ready-made objects.
+
+Also installs a global per-test timeout (``REPRO_TEST_TIMEOUT`` seconds,
+default 300, ``0`` disables): a wedged test — a stuck admission queue, a
+cancellation that never fires — aborts with a traceback instead of hanging
+the whole suite until CI's job-level kill.
+"""
+
+import os
+import signal
+import threading
 
 import pytest
 
@@ -14,6 +24,30 @@ from repro.workloads.employees import (
     employee_scheme,
     generate_employees,
 )
+
+
+TEST_TIMEOUT_SECONDS = float(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Bound each test body with SIGALRM (main thread, unix only)."""
+    if (TEST_TIMEOUT_SECONDS <= 0 or not hasattr(signal, "setitimer")
+            or threading.current_thread() is not threading.main_thread()):
+        return (yield)
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            "test exceeded the {}s per-test timeout "
+            "(REPRO_TEST_TIMEOUT)".format(TEST_TIMEOUT_SECONDS))
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.setitimer(signal.ITIMER_REAL, TEST_TIMEOUT_SECONDS)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

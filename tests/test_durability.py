@@ -539,6 +539,78 @@ class TestFaultInjection:
         recovered.close()
 
 
+# -- lifecycle ----------------------------------------------------------------------------
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, tmp_path):
+        database = Database(durable_path=str(tmp_path / "db"))
+        database.create_table("t", _simple_scheme(), key=["k"])
+        database.insert("t", {"k": 1})
+        assert not database.closed
+        database.close()
+        assert database.closed
+        database.close()  # second close is a no-op, not an error
+        assert database.closed
+
+    def test_close_without_durability_is_safe(self):
+        database = Database()
+        database.close()
+        database.close()
+        assert database.closed
+
+    def test_closed_wal_refuses_appends(self, tmp_path):
+        database = Database(durable_path=str(tmp_path / "db"))
+        database.create_table("t", _simple_scheme(), key=["k"])
+        database.close()
+        with pytest.raises(WALError, match="closed"):
+            database.durability.wal.append({"op": "insert"})
+
+    def test_close_with_open_transaction_aborts_it(self, tmp_path):
+        path = str(tmp_path / "db")
+        database = Database(durable_path=path)
+        database.create_table("t", _simple_scheme(), key=["k"])
+        database.insert("t", {"k": 1})
+        transaction = database.transaction()
+        transaction.__enter__()
+        database.insert("t", {"k": 2})
+        assert database.durability.in_transaction
+        database.close()
+        assert not database.durability.in_transaction
+        recovered = Database(durable_path=path)
+        # the uncommitted insert was aborted by close, not replayed
+        assert sorted(t["k"] for t in recovered.table("t").tuples) == [1]
+        assert verify_database(recovered) == []
+        recovered.close()
+
+    def test_wal_error_carries_last_good_offset(self, tmp_path):
+        path = str(tmp_path / "db")
+        database = Database(durable_path=path)
+        database.create_table("t", _simple_scheme(), key=["k"])
+        database.insert("t", {"k": 1})
+        database.close()
+        intact = os.path.getsize(os.path.join(path, wal_filename(0)))
+        database = Database(
+            durable_path=path,
+            wal_file_factory=faulty_file_factory(
+                FaultPlan(fail_after_bytes=12)))
+        with pytest.raises(IOError):
+            database.insert("t", {"k": 2})
+        with pytest.raises(WALError) as info:
+            database.insert("t", {"k": 3})
+        assert info.value.last_good_offset is not None
+        assert info.value.last_good_offset <= intact
+        assert str(info.value.last_good_offset) in str(info.value)
+        database.close()
+        # the surfaced offset is honest: reopening the same path recovers the
+        # intact prefix and the database serves writes again
+        recovered = Database(durable_path=path)
+        assert sorted(t["k"] for t in recovered.table("t").tuples) == [1]
+        recovered.insert("t", {"k": 9})
+        assert len(recovered.table("t")) == 2
+        recovered.close()
+
+
 # -- the crash harness --------------------------------------------------------------------
 
 

@@ -31,6 +31,7 @@ Intentionally adversarial generator choices:
 * batch sizes are drawn from {1, 3, 17, 256} so chunk boundaries move.
 """
 
+import os
 import random
 
 import pytest
@@ -69,9 +70,15 @@ from repro.model.tuples import FlexTuple
 from repro.workloads.analytics import generate_orders
 from repro.workloads.employees import generate_employees
 
-#: the fixed CI budget — SEEDS × TREES_PER_SEED random trees, pinned seeds
-SEEDS = range(10)
+#: the fixed CI budget — SEEDS × TREES_PER_SEED random trees, pinned seeds;
+#: REPRO_FUZZ_SEED=<n> narrows the run to that one seed (reproducing a red
+#: CI run locally without paying for the other nine)
+SEEDS = ([int(os.environ["REPRO_FUZZ_SEED"])]
+         if os.environ.get("REPRO_FUZZ_SEED") else range(10))
 TREES_PER_SEED = 50
+
+#: where a failing tree's shrunk reproduction is written (CI uploads it)
+FUZZ_ARTIFACT = os.environ.get("REPRO_FUZZ_ARTIFACT", "fuzz-failure.txt")
 
 #: maximum tree depth handed to the generator
 MAX_DEPTH = 4
@@ -222,10 +229,19 @@ def _check_tree(expression, source, batch_size, seed, index):
     if failure is None:
         return
     minimal = _shrink(expression, source, batch_size)
-    pytest.fail(
+    report = (
         "fuzz parity failure (seed={}, tree={}, batch_size={})\n"
+        "reproduce with: REPRO_FUZZ_SEED={} pytest tests/test_fuzz_parity.py\n"
         "minimal failing expression:\n{}\n\noriginal failure:\n{}".format(
-            seed, index, batch_size, minimal.pretty(), failure))
+            seed, index, batch_size, seed, minimal.pretty(), failure))
+    try:
+        # written before pytest.fail so CI can upload it as an artifact even
+        # though the failure text also lands in the test output
+        with open(FUZZ_ARTIFACT, "w") as handle:
+            handle.write(report + "\n")
+    except OSError:
+        pass
+    pytest.fail(report)
 
 
 # -- fixed fuzzing corpus --------------------------------------------------------------------

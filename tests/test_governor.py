@@ -1,0 +1,614 @@
+"""The resource governor: deadlines, cancellation, budgets, spill, admission.
+
+Four layers under test:
+
+* the primitives — :class:`CancelToken`/:class:`Deadline` semantics, the
+  CRC-framed spill segments, ``AggregateAccumulator.merge_states``;
+* the spill algorithms — for sort, hash aggregation and the grace hash join
+  the budgeted execution must produce **exactly** the unbudgeted results, in
+  both the row and the batch engine, across the workload's MISSING/NULL
+  edge cases;
+* the database integration — ``timeout=``/``cancel_token=``/
+  ``memory_budget=`` on :meth:`Database.execute`, the termination taxonomy,
+  and the observability contract: terminated queries count under their
+  reason, never under ``queries.executed``, and leave a slow-query-log entry
+  naming the reason (satellite: no double counting);
+* admission control — concurrency cap, bounded queue, shed, per-class
+  timeouts, circuit breaker lifecycle and retry backoff, all under injected
+  clocks so nothing sleeps.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.algebra import (
+    Aggregate,
+    NaturalJoin,
+    Product,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    Sort,
+)
+from repro.algebra.analytic import AggregateAccumulator, AggregateSpec
+from repro.algebra.predicates import Comparison
+from repro.engine import Database
+from repro.errors import (
+    AdmissionRejected,
+    CatalogError,
+    CircuitOpen,
+    GovernorError,
+    MemoryBudgetExceeded,
+    QueryCancelled,
+    QueryTimeout,
+    SpillError,
+)
+from repro.exec import PhysicalExecutor
+from repro.governor import (
+    AdmissionController,
+    CancelToken,
+    CircuitBreaker,
+    Deadline,
+    QueryGovernor,
+    RetryPolicy,
+    SpillManager,
+)
+from repro.model.batches import MISSING
+from repro.workloads.analytics import analytics_database
+
+MODES = ("row", "batch")
+
+
+def vectorize_of(mode):
+    return mode == "batch"
+
+
+@pytest.fixture(scope="module")
+def orders_database():
+    return analytics_database(count=2500, seed=13)
+
+
+# -- cancellation primitives -----------------------------------------------------------------
+
+
+class TestCancelToken:
+    def test_deadline_expires_with_injected_clock(self):
+        now = [0.0]
+        deadline = Deadline(5.0, clock=lambda: now[0])
+        assert not deadline.expired()
+        now[0] = 5.1
+        assert deadline.expired()
+        token = CancelToken(deadline=deadline)
+        with pytest.raises(QueryTimeout) as info:
+            token.check()
+        assert info.value.timeout == 5.0
+
+    def test_cancel_carries_the_reason(self):
+        token = CancelToken()
+        token.check()  # not yet cancelled
+        token.cancel("client disconnected")
+        with pytest.raises(QueryCancelled, match="client disconnected"):
+            token.check()
+
+    def test_timeout_is_a_cancellation(self):
+        # one unwind path: handlers for QueryCancelled also catch timeouts
+        assert issubclass(QueryTimeout, QueryCancelled)
+        assert issubclass(QueryCancelled, GovernorError)
+
+    def test_chaos_hook_fires_after_n_checks(self):
+        token = CancelToken(fire_after_checks=2)
+        token.check()
+        token.check()
+        with pytest.raises(QueryCancelled, match="boundary 2"):
+            token.check()
+        assert token.checks == 3
+
+    def test_counting_token_counts_boundaries(self, orders_database):
+        token = CancelToken()
+        orders_database.execute(RelationRef("orders"), cancel_token=token)
+        assert token.checks > 0
+
+
+# -- spill segments --------------------------------------------------------------------------
+
+
+class TestSpillSegments:
+    def test_round_trip_preserves_records_and_missing(self, tmp_path):
+        manager = SpillManager(str(tmp_path))
+        segment = manager.create_segment("unit")
+        records = [{"a": 1}, {"a": MISSING, "b": None}, (1, [2.5, "x"])]
+        segment.extend(records)
+        segment.finish()
+        out = list(segment)
+        assert out[0] == {"a": 1}
+        assert out[1]["a"] is MISSING  # identity survives pickling
+        assert out[2] == (1, [2.5, "x"])
+        manager.cleanup()
+        assert not os.listdir(str(tmp_path))
+
+    def test_read_before_finish_is_an_error(self, tmp_path):
+        manager = SpillManager(str(tmp_path))
+        segment = manager.create_segment("unit")
+        segment.append({"a": 1})
+        with pytest.raises(SpillError, match="before finish"):
+            list(segment)
+        manager.cleanup()
+
+    def test_corrupted_payload_raises_spill_error(self, tmp_path):
+        manager = SpillManager(str(tmp_path))
+        segment = manager.create_segment("unit")
+        segment.extend({"a": i} for i in range(2000))
+        segment.finish()
+        with open(segment.path, "r+b") as handle:
+            handle.seek(40)
+            handle.write(b"\xff\xff\xff\xff")
+        with pytest.raises(SpillError):
+            list(segment)
+        manager.cleanup()
+
+    def test_missing_pickle_identity(self):
+        assert pickle.loads(pickle.dumps(MISSING)) is MISSING
+
+
+# -- accumulator state merging ---------------------------------------------------------------
+
+
+class TestMergeStates:
+    def _accumulator(self):
+        return AggregateAccumulator((
+            AggregateSpec("count", None, "n"),
+            AggregateSpec("count", "x", "nx"),
+            AggregateSpec("sum", "x", "sx"),
+            AggregateSpec("avg", "x", "ax"),
+            AggregateSpec("min", "x", "mn"),
+            AggregateSpec("max", "x", "mx"),
+        ))
+
+    @pytest.mark.parametrize("split", [1, 3, 5])
+    def test_merged_slices_equal_one_pass(self, split):
+        rows = [{"x": 1}, {"x": 2.5}, {"x": None}, {}, {"x": -3},
+                {"x": 0.5}, {"x": None}, {"x": 7}]
+        accumulator = self._accumulator()
+        whole = accumulator.new_state()
+        for row in rows:
+            accumulator.update(whole, row)
+        merged = accumulator.new_state()
+        for start in range(0, len(rows), split):
+            part = accumulator.new_state()
+            for row in rows[start:start + split]:
+                accumulator.update(part, row)
+            accumulator.merge_states(merged, part)
+        assert accumulator.finalize(merged) == accumulator.finalize(whole)
+
+    def test_merging_absent_attribute_keeps_it_absent(self):
+        accumulator = self._accumulator()
+        a = accumulator.new_state()
+        b = accumulator.new_state()
+        accumulator.update(a, {})
+        accumulator.update(b, {})
+        accumulator.merge_states(a, b)
+        out = accumulator.finalize(a)
+        assert out == {"n": 2, "nx": 0}  # sum/avg/min/max stay absent
+
+
+# -- spill parity through the executor -------------------------------------------------------
+
+
+def spill_corpus():
+    """(expression, must_spill) pairs: the small-state entries prove a
+    budgeted-but-fitting query stays in memory with identical results."""
+    orders = RelationRef("orders")
+    return {
+        "aggregate": (Aggregate(
+            orders, group_by=("order_id",),
+            specs=(("sum", "amount"), "count", ("avg", "amount"),
+                   ("min", "amount"), ("max", "amount"))), True),
+        "aggregate_sparse_groups": (Aggregate(
+            orders, group_by=("region",),
+            specs=(("sum", "amount"), ("count", "amount"))), False),
+        "global_aggregate": (Aggregate(
+            orders, specs=(("sum", "amount"), "count")), False),
+        "sort": (Sort(Selection(orders, Comparison("amount", ">", 50)),
+                      keys=("amount", "order_id")), True),
+        "sort_by_region": (Sort(orders, keys=("region", "order_id")), True),
+        "join": (NaturalJoin(
+            orders,
+            Rename(Projection(orders, ["order_id", "region"]),
+                   {"region": "r2"}),
+            on=["order_id"]), True),
+        "join_skewed_key": (NaturalJoin(
+            Projection(orders, ["region", "channel"]),
+            Rename(Projection(orders, ["order_id", "region"]),
+                   {"order_id": "oid2"}),
+            on=["region"]), True),
+    }
+
+
+class TestSpillParity:
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("name", sorted(spill_corpus()))
+    def test_budgeted_equals_unbudgeted(self, orders_database, mode, name):
+        expression, must_spill = spill_corpus()[name]
+        executor = PhysicalExecutor(orders_database,
+                                    vectorize=vectorize_of(mode))
+        baseline = executor.execute(expression)
+        governor = QueryGovernor(memory_budget=15_000)
+        try:
+            governed = executor.execute(expression, governor=governor)
+            if must_spill:
+                assert governor.spilled, (
+                    "budget of 15000B over this workload must force a spill "
+                    "({} / {})".format(name, mode))
+            assert set(governed.tuples) == set(baseline.tuples)
+            # ExecutionStats totals stay identical: spilling changes where
+            # state lives, not what is counted
+            assert governed.stats.as_dict() == baseline.stats.as_dict()
+        finally:
+            governor.finish()
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_sort_order_survives_spilling(self, orders_database, mode):
+        expression = spill_corpus()["sort"][0]
+        executor = PhysicalExecutor(orders_database,
+                                    vectorize=vectorize_of(mode))
+        baseline = executor.execute(expression)
+        governor = QueryGovernor(memory_budget=10_000)
+        try:
+            governed = executor.execute(expression, governor=governor)
+            assert list(governed.tuples) == list(baseline.tuples)
+        finally:
+            governor.finish()
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_under_budget_query_never_touches_disk(self, orders_database,
+                                                   mode, tmp_path):
+        expression = spill_corpus()["aggregate_sparse_groups"][0]
+        executor = PhysicalExecutor(orders_database,
+                                    vectorize=vectorize_of(mode))
+        governor = QueryGovernor(memory_budget=50_000_000,
+                                 spill_directory=str(tmp_path))
+        try:
+            executor.execute(expression, governor=governor)
+            assert not governor.spilled
+            assert not os.listdir(str(tmp_path))
+        finally:
+            governor.finish()
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_spill_files_are_cleaned_up(self, orders_database, mode, tmp_path):
+        expression = spill_corpus()["aggregate"][0]
+        executor = PhysicalExecutor(orders_database,
+                                    vectorize=vectorize_of(mode))
+        governor = QueryGovernor(memory_budget=15_000,
+                                 spill_directory=str(tmp_path))
+        try:
+            executor.execute(expression, governor=governor)
+            assert governor.spilled
+        finally:
+            governor.finish()
+        assert not os.listdir(str(tmp_path))
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_spilled_peak_is_bounded(self, orders_database, mode):
+        # the reference peak is the *row* engine's unspilled footprint: the
+        # spiller holds row-form group states in both engines, whereas the
+        # batch engine's unspilled columnar accumulator is already several
+        # times smaller — comparing across representations would make the
+        # bound meaningless
+        expression = spill_corpus()["aggregate"][0]
+        row_baseline = PhysicalExecutor(
+            orders_database, vectorize=False).execute(expression)
+        peak0 = max(s["peak_bytes"] for s in row_baseline.operator_report())
+        executor = PhysicalExecutor(orders_database,
+                                    vectorize=vectorize_of(mode))
+        governor = QueryGovernor(memory_budget=peak0 // 4)
+        try:
+            governed = executor.execute(expression, governor=governor)
+            peak1 = max(s["peak_bytes"] for s in governed.operator_report())
+            assert peak1 < peak0 / 2
+            assert set(governed.tuples) == set(row_baseline.tuples)
+        finally:
+            governor.finish()
+
+
+class TestFailFast:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_spill_disabled_fails_fast(self, orders_database, mode):
+        expression = spill_corpus()["aggregate"][0]
+        with pytest.raises(MemoryBudgetExceeded) as info:
+            orders_database.execute(expression, mode=mode,
+                                    memory_budget=10_000, spill=False)
+        assert info.value.budget_bytes == 10_000
+        assert info.value.held_bytes > 10_000
+        assert "aggregate" in info.value.operator
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_non_spillable_operator_fails_fast_despite_spill(
+            self, orders_database, mode):
+        # a data-dependent natural join (on=None) has no spill form: even
+        # with spilling enabled, a blown budget must fail fast
+        expression = NaturalJoin(
+            RelationRef("orders"),
+            Rename(Projection(RelationRef("orders"), ["order_id", "region"]),
+                   {"region": "r2"}))
+        with pytest.raises(MemoryBudgetExceeded):
+            orders_database.execute(expression, mode=mode,
+                                    memory_budget=10_000, spill=True)
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_product_fails_fast(self, orders_database, mode):
+        # the big side goes on the right: Product materializes its right
+        # input, so 2500 distinct order ids must be held at once
+        expression = Product(
+            Projection(RelationRef("orders"), ["region"]),
+            Rename(Projection(RelationRef("orders"), ["order_id"]),
+                   {"order_id": "oid2"}))
+        with pytest.raises(MemoryBudgetExceeded):
+            orders_database.execute(expression, mode=mode, memory_budget=5_000)
+
+
+# -- database integration --------------------------------------------------------------------
+
+
+class TestDatabaseGovernance:
+    def test_timeout_raises_and_is_observed(self, orders_database):
+        registry = orders_database.metrics_registry
+        executed = registry.counter("queries.executed").value
+        timeouts = registry.counter("queries.timeout").value
+        with pytest.raises(QueryTimeout):
+            orders_database.execute(spill_corpus()["aggregate"][0],
+                                    timeout=0.000001)
+        assert registry.counter("queries.timeout").value == timeouts + 1
+        assert registry.counter("queries.executed").value == executed
+        entry = orders_database.slow_query_log.entries()[-1]
+        assert entry.note == "terminated: timeout"
+
+    def test_cancel_token_fires_and_is_observed(self, orders_database):
+        registry = orders_database.metrics_registry
+        executed = registry.counter("queries.executed").value
+        cancelled = registry.counter("queries.cancelled").value
+        token = CancelToken()
+        token.cancel("user pressed ^C")
+        with pytest.raises(QueryCancelled, match="user pressed"):
+            orders_database.execute(RelationRef("orders"), cancel_token=token)
+        assert registry.counter("queries.cancelled").value == cancelled + 1
+        assert registry.counter("queries.executed").value == executed
+        entry = orders_database.slow_query_log.entries()[-1]
+        assert entry.note == "terminated: cancelled"
+
+    def test_memory_exceeded_is_observed(self, orders_database):
+        registry = orders_database.metrics_registry
+        before = registry.counter("queries.memory_exceeded").value
+        with pytest.raises(MemoryBudgetExceeded):
+            orders_database.execute(spill_corpus()["aggregate"][0],
+                                    memory_budget=10_000, spill=False)
+        assert registry.counter("queries.memory_exceeded").value == before + 1
+        entry = orders_database.slow_query_log.entries()[-1]
+        assert entry.note == "terminated: memory_exceeded"
+
+    def test_each_termination_counts_exactly_once(self, orders_database):
+        """Satellite: timeout/cancel/shed entries never double-count."""
+        registry = orders_database.metrics_registry
+        log_total = orders_database.slow_query_log.total
+        timeouts = registry.counter("queries.timeout").value
+        cancelled = registry.counter("queries.cancelled").value
+        with pytest.raises(QueryTimeout):
+            orders_database.execute(spill_corpus()["aggregate"][0],
+                                    timeout=0.000001)
+        # a timeout is raised as a cancellation subclass but must be counted
+        # only under queries.timeout, and exactly one log entry appears
+        assert registry.counter("queries.timeout").value == timeouts + 1
+        assert registry.counter("queries.cancelled").value == cancelled
+        assert orders_database.slow_query_log.total == log_total + 1
+
+    def test_spilling_query_succeeds_and_counts_as_executed(self):
+        database = analytics_database(count=2500, seed=13)
+        registry = database.metrics_registry
+        executed = registry.counter("queries.executed").value
+        result = database.execute(spill_corpus()["aggregate"][0],
+                                  memory_budget=15_000)
+        baseline = database.execute(spill_corpus()["aggregate"][0])
+        assert set(result.tuples) == set(baseline.tuples)
+        assert registry.counter("queries.executed").value == executed + 2
+        assert registry.counter("spill.segments").value > 0
+        assert registry.counter("spill.records").value > 0
+        assert registry.counter("spill.events").value > 0
+
+    def test_spill_counters_reach_prometheus_export(self):
+        database = analytics_database(count=2500, seed=13)
+        database.execute(spill_corpus()["aggregate"][0], memory_budget=15_000)
+        text = database.prometheus_metrics()
+        assert "repro_spill_segments_total" in text
+        assert "repro_spill_records_total" in text
+
+    def test_database_wide_defaults_apply(self):
+        from repro.workloads.analytics import (
+            generate_orders,
+            orders_domains,
+            orders_scheme,
+        )
+
+        database = Database(query_timeout=0.000001)
+        database.create_table("t", orders_scheme(), domains=orders_domains(),
+                              key=["order_id"])
+        database.insert_many("t", generate_orders(50, seed=1))
+        with pytest.raises(QueryTimeout):
+            database.execute(Sort(RelationRef("t"), keys=("order_id",)))
+        # per-query override wins over the database default
+        result = database.execute(RelationRef("t"), timeout=30.0)
+        assert len(result.tuples) == 50
+
+    def test_naive_executor_rejects_governance(self, orders_database):
+        with pytest.raises(CatalogError, match="naive evaluator"):
+            orders_database.execute(RelationRef("orders"), executor="naive",
+                                    timeout=1.0)
+        with pytest.raises(CatalogError, match="naive evaluator"):
+            orders_database.execute(RelationRef("orders"), executor="naive",
+                                    memory_budget=1000)
+
+    def test_ungoverned_execution_has_no_governor(self, orders_database):
+        result = orders_database.execute(RelationRef("orders"))
+        assert result.context.governor is None
+
+
+# -- admission control -----------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_slots_then_queue_then_shed(self):
+        now = [0.0]
+        controller = AdmissionController(max_concurrent=2, queue_limit=0,
+                                         clock=lambda: now[0])
+        first = controller.admit()
+        second = controller.admit()
+        with pytest.raises(AdmissionRejected, match="queue full"):
+            controller.admit()
+        controller.complete(first)
+        third = controller.admit()
+        assert controller.active == 2
+        controller.complete(second)
+        controller.complete(third)
+        assert controller.active == 0
+        assert controller.admitted_total == 3
+        assert controller.shed_total == 1
+
+    def test_complete_is_idempotent(self):
+        controller = AdmissionController(max_concurrent=1)
+        ticket = controller.admit()
+        controller.complete(ticket)
+        controller.complete(ticket)
+        assert controller.active == 0
+
+    def test_class_timeouts(self):
+        controller = AdmissionController(
+            class_timeouts={"interactive": 0.5, "batch": 60.0})
+        assert controller.timeout_for("interactive") == 0.5
+        assert controller.timeout_for("batch") == 60.0
+        assert controller.timeout_for("default") is None
+
+    def test_breaker_trips_half_opens_and_closes(self):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10.0,
+                                 clock=lambda: now[0])
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+        assert not breaker.allow()
+        now[0] = 10.5
+        assert breaker.allow()  # half-open probe
+        assert breaker.state == "half-open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_failure_reopens(self):
+        now = [0.0]
+        breaker = CircuitBreaker(failure_threshold=2, reset_timeout=5.0,
+                                 clock=lambda: now[0])
+        breaker.record_failure()
+        breaker.record_failure()
+        now[0] = 5.5
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+
+    def test_open_breaker_sheds_with_circuit_open(self):
+        now = [0.0]
+        controller = AdmissionController(max_concurrent=4,
+                                         failure_threshold=1,
+                                         breaker_reset=30.0,
+                                         clock=lambda: now[0])
+        ticket = controller.admit()
+        controller.complete(ticket, success=False)
+        with pytest.raises(CircuitOpen):
+            controller.admit()
+        assert isinstance(CircuitOpen("x"), AdmissionRejected)
+
+    def test_retry_policy_backs_off_then_succeeds(self):
+        sleeps = []
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise AdmissionRejected("shed")
+            return "ok"
+
+        import random as random_module
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, multiplier=2.0,
+                             jitter=0.5, sleep=sleeps.append,
+                             rng=random_module.Random(42))
+        assert policy.run(flaky) == "ok"
+        assert policy.attempts == 3
+        assert len(sleeps) == 2
+        assert 0.1 <= sleeps[0] <= 0.15   # base × (1 + jitter·U[0,1))
+        assert 0.2 <= sleeps[1] <= 0.3    # doubled
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_retry_policy_exhausts_and_reraises(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0,
+                             sleep=lambda s: None)
+
+        def always_shed():
+            raise AdmissionRejected("shed")
+
+        with pytest.raises(AdmissionRejected):
+            policy.run(always_shed)
+        assert policy.attempts == 2
+
+    def test_database_sheds_and_observes(self):
+        database = analytics_database(count=200, seed=5)
+        database.admission = AdmissionController(
+            max_concurrent=0, queue_limit=0,
+            registry=database.metrics_registry)
+        registry = database.metrics_registry
+        executed = registry.counter("queries.executed").value
+        with pytest.raises(AdmissionRejected):
+            database.execute(RelationRef("orders"))
+        assert registry.counter("queries.shed").value == 1
+        assert registry.counter("admission.shed").value == 1
+        assert registry.counter("queries.executed").value == executed
+        entry = database.slow_query_log.entries()[-1]
+        assert entry.note == "terminated: shed"
+        assert database.metrics()["admission"]["shed_total"] == 1
+
+    def test_database_admits_and_releases(self):
+        database = analytics_database(count=200, seed=5)
+        database.admission = AdmissionController(
+            max_concurrent=2, registry=database.metrics_registry)
+        database.execute(RelationRef("orders"))
+        assert database.admission.active == 0
+        assert database.admission.admitted_total == 1
+        assert database.admission.breaker.state == "closed"
+
+    def test_class_timeout_governs_the_query(self):
+        database = analytics_database(count=2500, seed=5)
+        database.admission = AdmissionController(
+            max_concurrent=4, class_timeouts={"interactive": 0.000001},
+            registry=database.metrics_registry)
+        with pytest.raises(QueryTimeout):
+            database.execute(spill_corpus()["aggregate"][0],
+                             query_class="interactive")
+        assert database.admission.active == 0
+        # engine-side timeout feeds the breaker as a failure
+        assert database.admission.breaker.consecutive_failures == 1
+        # an unclassified query is not affected
+        result = database.execute(RelationRef("orders"))
+        assert len(result.tuples) == 2500
+
+    def test_client_cancel_is_not_a_breaker_failure(self):
+        database = analytics_database(count=200, seed=5)
+        database.admission = AdmissionController(
+            max_concurrent=4, registry=database.metrics_registry)
+        token = CancelToken()
+        token.cancel("client went away")
+        with pytest.raises(QueryCancelled):
+            database.execute(RelationRef("orders"), cancel_token=token)
+        assert database.admission.breaker.consecutive_failures == 0
+        assert database.admission.active == 0
